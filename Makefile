@@ -1,0 +1,39 @@
+# Convenience targets for the heteroif reproduction.
+
+GO ?= go
+
+.PHONY: all build test race bench experiments experiments-full examples vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/network ./internal/core ./internal/routing
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# CI-scale reproduction of every table and figure, with CSV output.
+experiments:
+	$(GO) run ./cmd/hetsim -exp all -csv results
+
+# Paper-scale systems and windows (hours; use -workers on multicore hosts).
+experiments-full:
+	$(GO) run ./cmd/hetsim -exp all -full -csv results-full
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/chiplet_reuse
+	$(GO) run ./examples/datacenter_mixed
+	$(GO) run ./examples/energy_tuning
+
+clean:
+	rm -rf results results-full test_output.txt bench_output.txt

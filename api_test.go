@@ -1,0 +1,164 @@
+package heteroif
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.SimCycles = 3000
+	cfg.WarmupCycles = 500
+	cfg.CheckInvariants = true
+	return cfg
+}
+
+func TestPublicBuildAndRun(t *testing.T) {
+	sys, err := Build(testConfig(), Spec{
+		System:    HeteroPHYTorus,
+		ChipletsX: 2, ChipletsY: 2,
+		NodesX: 3, NodesY: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RunSynthetic(UniformTraffic(), 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Stats.Count() == 0 {
+		t.Fatal("no packets measured through the public API")
+	}
+	if lat := sys.Stats.MeanLatency(); lat <= 0 || lat > 500 {
+		t.Fatalf("implausible mean latency %.1f", lat)
+	}
+}
+
+func TestPublicPatternConstructors(t *testing.T) {
+	for _, p := range []Pattern{
+		UniformTraffic(),
+		HotspotTraffic(64, 0.1, 1),
+		BitShuffleTraffic(),
+		BitComplementTraffic(),
+		BitTransposeTraffic(),
+		BitReverseTraffic(),
+		LocalUniformTraffic(Spec{ChipletsX: 2, NodesX: 3, NodesY: 3}, 1),
+	} {
+		if p.Name() == "" {
+			t.Error("pattern with empty name")
+		}
+	}
+}
+
+func TestPublicPolicies(t *testing.T) {
+	for _, pol := range []Policy{
+		BalancedPolicy(), PerformanceFirstPolicy(),
+		EnergyEfficientPolicy(), ApplicationAwarePolicy(16),
+	} {
+		if pol.Name() == "" {
+			t.Error("policy with empty name")
+		}
+	}
+	// Policies plug into Spec.
+	sys, err := Build(testConfig(), Spec{
+		System:    HeteroPHYTorus,
+		ChipletsX: 2, ChipletsY: 2, NodesX: 2, NodesY: 2,
+		Policy: EnergyEfficientPolicy(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RunSynthetic(UniformTraffic(), 0.05); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicTraceReplay(t *testing.T) {
+	tr, err := PARSECTrace("canneal", 2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	sys, err := Build(cfg, Spec{
+		System:    UniformParallelMesh,
+		ChipletsX: 4, ChipletsY: 4, NodesX: 2, NodesY: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Replay(sys, tr, 1); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Net.PacketsDelivered() == 0 {
+		t.Fatal("trace replay delivered nothing")
+	}
+}
+
+func TestPublicTraceRoundTrip(t *testing.T) {
+	tr := MOCTrace(2000, 3)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != tr.Name || len(back.Records) != len(tr.Records) {
+		t.Fatal("trace round trip mismatch")
+	}
+	if len(PARSECWorkloads()) < 8 {
+		t.Error("expected the full PARSEC workload set")
+	}
+	if CNSTrace(2000, 1).Ranks != 1024 {
+		t.Error("CNS rank count wrong")
+	}
+}
+
+func TestPublicCustomDriver(t *testing.T) {
+	cfg := testConfig()
+	cfg.WarmupCycles = 0 // measure every packet of the short custom run
+	sys, err := Build(cfg, Spec{
+		System:    UniformParallelMesh,
+		ChipletsX: 2, ChipletsY: 2, NodesX: 2, NodesY: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent := 0
+	err = RunWithDriver(sys, 500, func(now int64) {
+		if now%50 == 0 {
+			OfferPacket(sys, 0, 9, 4, ClassLatencySensitive, now)
+			sent++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := Drain(sys)
+	if err != nil || !ok {
+		t.Fatalf("drain: %v %v", ok, err)
+	}
+	if got := sys.Net.PacketsDelivered(); got != int64(sent) {
+		t.Fatalf("delivered %d of %d", got, sent)
+	}
+	if sys.Stats.ClassCount(uint8(ClassLatencySensitive)) == 0 {
+		t.Error("per-class stats empty")
+	}
+}
+
+func TestPublicExperimentRegistry(t *testing.T) {
+	if len(Experiments()) != 16 {
+		t.Fatalf("experiment registry has %d entries, want 16", len(Experiments()))
+	}
+	var buf bytes.Buffer
+	if err := RunExperiment("table1", false, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "SerDes") {
+		t.Error("table1 output missing interface rows")
+	}
+	if err := RunExperiment("nope", false, &buf); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,79 @@
+package heteroif
+
+import (
+	"io"
+	"testing"
+
+	"heteroif/internal/experiments"
+	"heteroif/internal/network"
+	"heteroif/internal/topology"
+	"heteroif/internal/traffic"
+)
+
+// One benchmark per table and figure of the paper's evaluation (Sec. 8).
+// Each runs the corresponding experiment end to end at smoke (Tiny) scale,
+// timing the regeneration and guarding against regressions that would
+// silently break an experiment. The reported series themselves come from
+// the harness: `go run ./cmd/hetsim -exp <id>` at CI scale, `-full` for
+// the paper-scale systems and 100k-cycle windows.
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(experiments.Options{Tiny: true}, io.Discard); err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+}
+
+func BenchmarkTable1InterfaceSpecs(b *testing.B)       { benchExperiment(b, "table1") }
+func BenchmarkFig08VTCurves(b *testing.B)              { benchExperiment(b, "fig08") }
+func BenchmarkFig11HeteroPHYPatterns(b *testing.B)     { benchExperiment(b, "fig11") }
+func BenchmarkFig12PARSEC(b *testing.B)                { benchExperiment(b, "fig12") }
+func BenchmarkFig13HPC(b *testing.B)                   { benchExperiment(b, "fig13") }
+func BenchmarkFig14HeteroChannelPatterns(b *testing.B) { benchExperiment(b, "fig14") }
+func BenchmarkFig15HeteroChannelHPC(b *testing.B)      { benchExperiment(b, "fig15") }
+func BenchmarkTable3Scalability(b *testing.B)          { benchExperiment(b, "table3") }
+func BenchmarkTable4Synthesis(b *testing.B)            { benchExperiment(b, "table4") }
+func BenchmarkFig16EnergyUniform(b *testing.B)         { benchExperiment(b, "fig16") }
+func BenchmarkFig17EnergyHPC(b *testing.B)             { benchExperiment(b, "fig17") }
+func BenchmarkFig18EnergyLocality(b *testing.B)        { benchExperiment(b, "fig18") }
+func BenchmarkTopologyAnalysis(b *testing.B)           { benchExperiment(b, "topo") }
+func BenchmarkEconomyModel(b *testing.B)               { benchExperiment(b, "economy") }
+func BenchmarkFaultTolerance(b *testing.B)             { benchExperiment(b, "fault") }
+func BenchmarkCompromisedIF(b *testing.B)              { benchExperiment(b, "compromised") }
+
+// Engine micro-benchmarks: raw simulation throughput per system kind,
+// reported in node-cycles per second.
+
+func benchEngine(b *testing.B, sys topology.System, rate float64) {
+	b.Helper()
+	cfg := network.DefaultConfig()
+	cfg.SimCycles = 1 << 62 // run is bounded by the loop below
+	cfg.DeadlockThreshold = 0
+	spec := topology.Spec{System: sys, ChipletsX: 4, ChipletsY: 4, NodesX: 4, NodesY: 4}
+	in, err := experiments.Build(cfg, spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := traffic.NewGenerator(in.Net, traffic.Uniform{}, rate, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.Drive(in.Net.Now)
+		in.Net.Step()
+	}
+	b.ReportMetric(float64(in.Topo.N)*float64(b.N), "node-cycles")
+	b.ReportMetric(float64(in.Net.PacketsDelivered()), "pkts-delivered")
+}
+
+func BenchmarkEngineMeshLowLoad(b *testing.B)   { benchEngine(b, topology.UniformParallelMesh, 0.05) }
+func BenchmarkEngineMeshSaturated(b *testing.B) { benchEngine(b, topology.UniformParallelMesh, 0.6) }
+func BenchmarkEngineHeteroPHY(b *testing.B)     { benchEngine(b, topology.HeteroPHYTorus, 0.2) }
+func BenchmarkEngineHeteroChannel(b *testing.B) { benchEngine(b, topology.HeteroChannel, 0.2) }
+func BenchmarkEngineSerialHypercube(b *testing.B) {
+	benchEngine(b, topology.UniformSerialHypercube, 0.2)
+}

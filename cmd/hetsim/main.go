@@ -1,0 +1,80 @@
+// Command hetsim runs the paper-reproduction experiments: one named
+// experiment per table and figure of the evaluation (Sec. 8).
+//
+// Usage:
+//
+//	hetsim -exp fig11            # shortened CI-scale run
+//	hetsim -exp fig14 -full      # paper-scale system and windows
+//	hetsim -exp all -csv out/    # everything, with CSV output
+//	hetsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"heteroif/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment ID (e.g. fig11, table3) or \"all\"")
+		spec    = flag.String("run", "", "run a custom simulation from a JSON spec file")
+		full    = flag.Bool("full", false, "paper-scale systems and simulation windows (slow)")
+		csv     = flag.String("csv", "", "directory for CSV output (optional)")
+		seed    = flag.Int64("seed", 0, "random seed override (0 = default)")
+		workers = flag.Int("workers", 1, "parallel simulation workers (deterministic; useful for -full)")
+		list    = flag.Bool("list", false, "list available experiments")
+	)
+	flag.Parse()
+
+	if *spec != "" {
+		c, err := experiments.LoadCustomRunFile(*spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hetsim:", err)
+			os.Exit(1)
+		}
+		if err := c.Execute(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "hetsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, e := range experiments.Registry {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+		}
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	opts := experiments.Options{Full: *full, CSVDir: *csv, Seed: *seed, Workers: *workers}
+	run := func(e experiments.Experiment) {
+		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+		start := time.Now()
+		if err := e.Run(opts, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "hetsim: %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s done in %s ===\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, e := range experiments.Registry {
+			run(e)
+		}
+		return
+	}
+	e, err := experiments.ByID(*exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hetsim:", err)
+		os.Exit(2)
+	}
+	run(e)
+}

@@ -1,0 +1,53 @@
+// Command synthest runs the TSMC-12nm-calibrated synthesis estimator
+// standalone: the four Table 4 modules by default, or a custom module from
+// flags — useful for sizing variants (deeper adapter queues, higher-radix
+// routers) beyond the paper's design points.
+//
+// Usage:
+//
+//	synthest                       # Table 4
+//	synthest -storage 2560 -ports 3 -gates 800 -active 128 -mux 32
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"heteroif/internal/rtl"
+)
+
+func main() {
+	var (
+		storage = flag.Int("storage", 0, "storage bits (0 = print Table 4 modules)")
+		ports   = flag.Int("ports", 1, "concurrent R/W ports on the storage array")
+		gates   = flag.Int("gates", 0, "NAND2-equivalent control gates")
+		active  = flag.Float64("active", 0, "mean switched bits per cycle (dynamic power)")
+		mux     = flag.Int("mux", 1, "widest data-mux fan-in on the critical path")
+		arb     = flag.Int("arb", 0, "allocator ports on the critical path")
+		xin     = flag.Int("xin", 0, "crossbar inputs")
+		xout    = flag.Int("xout", 0, "crossbar outputs")
+		xw      = flag.Int("xw", 0, "crossbar width in bits")
+	)
+	flag.Parse()
+
+	if *storage == 0 {
+		fmt.Println("Table 4 post-synthesis estimates (TSMC-12nm-calibrated):")
+		for _, r := range rtl.Table4() {
+			fmt.Println(" ", r)
+		}
+		return
+	}
+	m := rtl.Module{
+		Name:               "custom",
+		StorageBits:        *storage,
+		RWPorts:            *ports,
+		ControlGates:       *gates,
+		ActiveBitsPerCycle: *active,
+		MuxFanIn:           *mux,
+		ArbPorts:           *arb,
+		XbarIn:             *xin,
+		XbarOut:            *xout,
+		XbarWidth:          *xw,
+	}
+	fmt.Println(m.Estimate(rtl.TSMC12()))
+}

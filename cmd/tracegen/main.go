@@ -1,0 +1,102 @@
+// Command tracegen generates, inspects and converts the synthetic workload
+// traces used by the trace-driven experiments (Figs. 12, 13, 15, 17).
+//
+// Usage:
+//
+//	tracegen -gen parsec-canneal -cycles 100000 -o canneal.trc
+//	tracegen -gen hpc-cns -cycles 400000 -o cns.trc
+//	tracegen -info cns.trc
+//	tracegen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"heteroif/internal/trace"
+)
+
+func main() {
+	var (
+		gen    = flag.String("gen", "", "trace to generate: parsec-<workload>, hpc-cns, hpc-moc")
+		out    = flag.String("o", "", "output file (default: <name>.trc)")
+		info   = flag.String("info", "", "print a summary of an existing trace file")
+		cycles = flag.Int64("cycles", 100000, "trace duration in cycles")
+		seed   = flag.Int64("seed", 1, "generator seed")
+		list   = flag.Bool("list", false, "list available generators")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		fmt.Println("available traces:")
+		for _, wl := range trace.PARSECWorkloads() {
+			fmt.Printf("  parsec-%s\n", wl)
+		}
+		fmt.Println("  hpc-cns")
+		fmt.Println("  hpc-moc")
+	case *info != "":
+		f, err := os.Open(*info)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tr, err := trace.Read(f)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("name:     %s\n", tr.Name)
+		fmt.Printf("ranks:    %d\n", tr.Ranks)
+		fmt.Printf("cycles:   %d\n", tr.Cycles)
+		fmt.Printf("packets:  %d\n", len(tr.Records))
+		fmt.Printf("flits:    %d\n", tr.TotalFlits())
+		fmt.Printf("offered:  %.4f flits/cycle/rank\n", tr.OfferedRate())
+		fmt.Println("--- statistics ---")
+		fmt.Print(tr.ComputeStats(0))
+	case *gen != "":
+		tr, err := generate(*gen, *cycles, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		path := *out
+		if path == "" {
+			path = tr.Name + ".trc"
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tr.Write(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s: %d packets over %d cycles (%.4f flits/cycle/rank)\n",
+			path, len(tr.Records), tr.Cycles, tr.OfferedRate())
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func generate(name string, cycles, seed int64) (*trace.Trace, error) {
+	switch {
+	case name == "hpc-cns":
+		return trace.GenerateCNS(cycles, seed), nil
+	case name == "hpc-moc":
+		return trace.GenerateMOC(cycles, seed), nil
+	case strings.HasPrefix(name, "parsec-"):
+		return trace.GeneratePARSEC(strings.TrimPrefix(name, "parsec-"), cycles, seed)
+	default:
+		return nil, fmt.Errorf("unknown trace %q (use -list)", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

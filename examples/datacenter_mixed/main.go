@@ -1,0 +1,98 @@
+// Datacenter mixed traffic (Motivation 2 / Sec. 5.3.2): modern systems
+// carry latency-critical coherence/control messages and bulk all-reduce
+// data *simultaneously*. This example drives a hetero-PHY system with a
+// custom mixed workload — short latency-sensitive control packets plus
+// long throughput-class transfers — and compares the rule-based balanced
+// policy against application-aware scheduling, which steers control
+// packets onto the parallel PHY (with bypass) and bulk data onto the
+// serial PHY.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"heteroif"
+)
+
+const (
+	chiplets = 4
+	nodes    = 4
+	cycles   = 30000
+	warmup   = 5000
+)
+
+// mixedWorkload drives control packets (1 flit, latency-sensitive) and
+// bulk transfers (16 flits, throughput class) from every node.
+type mixedWorkload struct {
+	sys *heteroif.System
+	rng *rand.Rand
+	n   int
+
+	controlLat []int64
+	bulkFlits  int64
+}
+
+func (w *mixedWorkload) drive(now int64) {
+	for src := 0; src < w.n; src++ {
+		// Control plane: frequent small messages.
+		if w.rng.Float64() < 0.02 {
+			dst := w.rng.Intn(w.n - 1)
+			if dst >= src {
+				dst++
+			}
+			heteroif.OfferPacket(w.sys, heteroif.NodeID(src), heteroif.NodeID(dst),
+				1, heteroif.ClassLatencySensitive, now)
+		}
+		// Data plane: bulk transfers that congest the boundary links.
+		if w.rng.Float64() < 0.022 {
+			dst := w.rng.Intn(w.n - 1)
+			if dst >= src {
+				dst++
+			}
+			heteroif.OfferPacket(w.sys, heteroif.NodeID(src), heteroif.NodeID(dst),
+				16, heteroif.ClassThroughput, now)
+		}
+	}
+}
+
+func run(policyName string, policy heteroif.Policy) {
+	cfg := heteroif.DefaultConfig()
+	cfg.SimCycles = cycles
+	cfg.WarmupCycles = warmup
+	sys, err := heteroif.Build(cfg, heteroif.Spec{
+		System:    heteroif.HeteroPHYTorus,
+		ChipletsX: chiplets, ChipletsY: chiplets,
+		NodesX: nodes, NodesY: nodes,
+		Policy: policy,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := &mixedWorkload{sys: sys, rng: rand.New(rand.NewSource(42)), n: sys.Topo.N}
+	if err := heteroif.RunWithDriver(sys, cycles, w.drive); err != nil {
+		log.Fatal(err)
+	}
+	st := sys.Stats
+	fmt.Printf("%-20s control lat=%6.1f cyc (p99=%4d)   bulk lat=%6.1f cyc   energy=%7.1f pJ/pkt\n",
+		policyName,
+		st.ClassMeanLatency(uint8(heteroif.ClassLatencySensitive)),
+		st.ClassPercentile(uint8(heteroif.ClassLatencySensitive), 0.99),
+		st.ClassMeanLatency(uint8(heteroif.ClassThroughput)),
+		st.MeanEnergyPJ())
+}
+
+func main() {
+	fmt.Printf("mixed control+bulk traffic on a %d-node hetero-PHY system\n\n",
+		chiplets*chiplets*nodes*nodes)
+	run("balanced", heteroif.BalancedPolicy())
+	run("performance-first", heteroif.PerformanceFirstPolicy())
+	run("application-aware", heteroif.ApplicationAwarePolicy(32))
+	fmt.Println("\nat moderate load the balanced rule wins outright: it keeps bulk on")
+	fmt.Println("the cheap parallel PHY until real backlog builds. The adapter's")
+	fmt.Println("latency-sensitive bypass protects control packets under every")
+	fmt.Println("policy; application-aware scheduling additionally pins bulk to the")
+	fmt.Println("serial PHY once the interface queues, which pays off only when the")
+	fmt.Println("parallel PHY itself saturates (try raising the bulk rate).")
+}

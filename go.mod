@@ -1,0 +1,3 @@
+module heteroif
+
+go 1.22

@@ -1,0 +1,183 @@
+// Package analysis computes the static network metrics behind the paper's
+// motivation (Sec. 1/2): diameter, average distance and bisection
+// bandwidth of the built systems — both in hops and in zero-load latency
+// (the Eq. 3/4 weighted path length). These quantify why flat parallel
+// meshes stop scaling (O(√N) diameter) and what the serial hypercube and
+// the heterogeneous systems buy back.
+package analysis
+
+import (
+	"container/heap"
+	"fmt"
+
+	"heteroif/internal/network"
+	"heteroif/internal/topology"
+)
+
+// Costs assigns a traversal cost to each link kind (cycles at zero load).
+type Costs struct {
+	OnChip, Parallel, Serial, HeteroPHY int
+}
+
+// HopCosts prices every link at 1, yielding hop metrics.
+func HopCosts() Costs { return Costs{1, 1, 1, 1} }
+
+// LatencyCosts derives zero-load per-hop latencies from a configuration.
+// The simulator completes routing, VC allocation and switch allocation in
+// the arrival cycle (Sec. 7.1), so a hop costs exactly its link delay; the
+// hetero-PHY adapter issues same-cycle at zero load, so its hop rides the
+// parallel path delay. TestZeroLoadLatencyMatchesAnalyticalModel pins this
+// calibration against the engine.
+func LatencyCosts(cfg *network.Config) Costs {
+	return Costs{
+		OnChip:    cfg.OnChipDelay,
+		Parallel:  cfg.ParallelDelay,
+		Serial:    cfg.SerialDelay,
+		HeteroPHY: cfg.ParallelDelay,
+	}
+}
+
+func (c Costs) of(k network.LinkKind) int {
+	switch k {
+	case network.KindOnChip:
+		return c.OnChip
+	case network.KindParallel:
+		return c.Parallel
+	case network.KindSerial:
+		return c.Serial
+	case network.KindHeteroPHY:
+		return c.HeteroPHY
+	default:
+		return 1
+	}
+}
+
+// Report summarizes one system's static metrics.
+type Report struct {
+	System         string
+	Nodes          int
+	Links          int
+	Diameter       int     // max shortest distance (in the chosen costs)
+	AvgDistance    float64 // mean shortest distance over all ordered pairs
+	BisectionFlits int     // flits/cycle across the X-midline cut
+	MaxRadix       int     // largest router degree (excluding local ports)
+	InterfaceLinks int     // die-to-die link count
+	InterfacePins  int     // proxy: Σ link bandwidth over interface links
+}
+
+// Analyze computes a report for a built topology using the given costs.
+func Analyze(t *topology.Topo, cfg *network.Config, costs Costs) Report {
+	adj := adjacency(t, costs)
+	rep := Report{System: t.System.String(), Nodes: t.N}
+
+	// Distances via Dijkstra from every source (uniform small weights; a
+	// heap keeps it simple and fast enough for 3k nodes).
+	total, count, diameter := 0.0, 0, 0
+	for src := 0; src < t.N; src++ {
+		dist := dijkstra(adj, t.N, src)
+		for dst, d := range dist {
+			if dst == src {
+				continue
+			}
+			if d == unreachable {
+				panic(fmt.Sprintf("analysis: %s: node %d unreachable from %d", t.System, dst, src))
+			}
+			total += float64(d)
+			count++
+			if d > diameter {
+				diameter = d
+			}
+		}
+	}
+	rep.Diameter = diameter
+	rep.AvgDistance = total / float64(count)
+
+	// Link census and bisection (cut between gx < GX/2 and gx ≥ GX/2).
+	mid := t.GX / 2
+	for n, ports := range t.OutPorts {
+		deg := 0
+		for i := 1; i < len(ports); i++ {
+			p := &ports[i]
+			if p.Dest < 0 {
+				continue
+			}
+			rep.Links++
+			deg++
+			if p.Kind != network.KindOnChip {
+				rep.InterfaceLinks++
+				rep.InterfacePins += cfg.Bandwidth(p.Kind)
+			}
+			sx, _ := t.Coord(network.NodeID(n))
+			dx, _ := t.Coord(p.Dest)
+			if (sx < mid) != (dx < mid) {
+				rep.BisectionFlits += cfg.Bandwidth(p.Kind)
+			}
+		}
+		if deg > rep.MaxRadix {
+			rep.MaxRadix = deg
+		}
+	}
+	return rep
+}
+
+// String renders the report as one table row.
+func (r Report) String() string {
+	return fmt.Sprintf("%-26s N=%-5d links=%-5d diam=%-4d avg=%-7.2f bisection=%-5d radix=%-2d ifLinks=%-4d ifBW=%d",
+		r.System, r.Nodes, r.Links, r.Diameter, r.AvgDistance, r.BisectionFlits, r.MaxRadix, r.InterfaceLinks, r.InterfacePins)
+}
+
+const unreachable = int(^uint(0) >> 1)
+
+type edge struct {
+	to   int32
+	cost int32
+}
+
+func adjacency(t *topology.Topo, costs Costs) [][]edge {
+	adj := make([][]edge, t.N)
+	for n, ports := range t.OutPorts {
+		for i := 1; i < len(ports); i++ {
+			p := &ports[i]
+			if p.Dest < 0 || p.Dead {
+				continue
+			}
+			adj[n] = append(adj[n], edge{to: int32(p.Dest), cost: int32(costs.of(p.Kind))})
+		}
+	}
+	return adj
+}
+
+type pqItem struct {
+	node int32
+	dist int32
+}
+type pq []pqItem
+
+func (p pq) Len() int           { return len(p) }
+func (p pq) Less(i, j int) bool { return p[i].dist < p[j].dist }
+func (p pq) Swap(i, j int)      { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x any)        { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() any          { old := *p; n := len(old); it := old[n-1]; *p = old[:n-1]; return it }
+
+func dijkstra(adj [][]edge, n, src int) []int {
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = unreachable
+	}
+	dist[src] = 0
+	q := &pq{{int32(src), 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if int(it.dist) > dist[it.node] {
+			continue
+		}
+		for _, e := range adj[it.node] {
+			nd := int(it.dist) + int(e.cost)
+			if nd < dist[e.to] {
+				dist[e.to] = nd
+				heap.Push(q, pqItem{e.to, int32(nd)})
+			}
+		}
+	}
+	return dist
+}

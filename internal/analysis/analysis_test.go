@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"testing"
+
+	"heteroif/internal/network"
+	"heteroif/internal/topology"
+)
+
+func buildTopo(t *testing.T, sys topology.System, cx, cy, nx, ny int) (*topology.Topo, *network.Config) {
+	t.Helper()
+	cfg := network.DefaultConfig()
+	_, topo, err := topology.Build(cfg, topology.Spec{System: sys, ChipletsX: cx, ChipletsY: cy, NodesX: nx, NodesY: ny})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo, &cfg
+}
+
+func TestMeshHopMetrics(t *testing.T) {
+	// 4×4 global mesh (2×2 chiplets of 2×2): diameter = 6 hops, average
+	// distance of a 4×4 mesh = 8/3 ≈ 2.667.
+	topo, cfg := buildTopo(t, topology.UniformParallelMesh, 2, 2, 2, 2)
+	rep := Analyze(topo, cfg, HopCosts())
+	if rep.Diameter != 6 {
+		t.Errorf("mesh diameter = %d, want 6", rep.Diameter)
+	}
+	if rep.AvgDistance < 2.6 || rep.AvgDistance > 2.7 {
+		t.Errorf("mesh avg distance = %.3f, want 8/3", rep.AvgDistance)
+	}
+	if rep.Nodes != 16 {
+		t.Errorf("nodes = %d", rep.Nodes)
+	}
+}
+
+func TestTorusShrinksDiameter(t *testing.T) {
+	mesh, cfg := buildTopo(t, topology.UniformParallelMesh, 2, 2, 3, 3)
+	torus, _ := buildTopo(t, topology.UniformSerialTorus, 2, 2, 3, 3)
+	mrep := Analyze(mesh, cfg, HopCosts())
+	trep := Analyze(torus, cfg, HopCosts())
+	// 6×6 mesh diameter 10; 6×6 torus diameter 6.
+	if mrep.Diameter != 10 {
+		t.Errorf("mesh diameter = %d, want 10", mrep.Diameter)
+	}
+	if trep.Diameter != 6 {
+		t.Errorf("torus diameter = %d, want 6", trep.Diameter)
+	}
+	if trep.AvgDistance >= mrep.AvgDistance {
+		t.Error("torus should shrink average distance")
+	}
+}
+
+func TestHypercubeBeatsMeshAtScale(t *testing.T) {
+	mesh, cfg := buildTopo(t, topology.UniformParallelMesh, 4, 4, 4, 4)
+	cube, _ := buildTopo(t, topology.UniformSerialHypercube, 4, 4, 4, 4)
+	mrep := Analyze(mesh, cfg, HopCosts())
+	crep := Analyze(cube, cfg, HopCosts())
+	if crep.Diameter >= mrep.Diameter {
+		t.Errorf("hypercube diameter %d should beat mesh %d (the high-radix motivation)",
+			crep.Diameter, mrep.Diameter)
+	}
+}
+
+func TestWeightedVsHopMetricsDisagree(t *testing.T) {
+	// On the serial torus, latency weighting penalizes every boundary: the
+	// weighted diameter must exceed hop diameter × on-chip cost.
+	topo, cfg := buildTopo(t, topology.UniformSerialTorus, 2, 2, 3, 3)
+	hop := Analyze(topo, cfg, HopCosts())
+	lat := Analyze(topo, cfg, LatencyCosts(cfg))
+	if lat.Diameter <= hop.Diameter*LatencyCosts(cfg).OnChip {
+		t.Errorf("weighted diameter %d too small vs hop diameter %d", lat.Diameter, hop.Diameter)
+	}
+}
+
+func TestHeteroChannelCombinesBoth(t *testing.T) {
+	cfg := network.DefaultConfig()
+	mesh, _ := buildTopo(t, topology.UniformParallelMesh, 4, 4, 4, 4)
+	het, _ := buildTopo(t, topology.HeteroChannel, 4, 4, 4, 4)
+	lat := LatencyCosts(&cfg)
+	mrep := Analyze(mesh, &cfg, lat)
+	hrep := Analyze(het, &cfg, lat)
+	// The hetero-channel system must not be worse than the mesh on either
+	// metric (it contains the mesh) and must shrink the hop diameter.
+	if hrep.Diameter > mrep.Diameter {
+		t.Errorf("hetero-channel weighted diameter %d worse than mesh %d", hrep.Diameter, mrep.Diameter)
+	}
+	hHop := Analyze(het, &cfg, HopCosts())
+	mHop := Analyze(mesh, &cfg, HopCosts())
+	if hHop.Diameter >= mHop.Diameter {
+		t.Errorf("hetero-channel hop diameter %d should beat mesh %d", hHop.Diameter, mHop.Diameter)
+	}
+}
+
+func TestBisectionOrdering(t *testing.T) {
+	cfg := network.DefaultConfig()
+	mesh, _ := buildTopo(t, topology.UniformParallelMesh, 4, 4, 4, 4)
+	cube, _ := buildTopo(t, topology.HeteroChannel, 4, 4, 4, 4)
+	mrep := Analyze(mesh, &cfg, HopCosts())
+	crep := Analyze(cube, &cfg, HopCosts())
+	if crep.BisectionFlits <= mrep.BisectionFlits {
+		t.Errorf("hetero-channel bisection %d should exceed mesh %d", crep.BisectionFlits, mrep.BisectionFlits)
+	}
+}
+
+func TestDeadLinksExcluded(t *testing.T) {
+	topo, cfg := buildTopo(t, topology.UniformSerialTorus, 2, 2, 3, 3)
+	before := Analyze(topo, cfg, HopCosts())
+	// Kill one wraparound; connectivity must survive, diameter may grow.
+	for n := range topo.OutPorts {
+		done := false
+		for port := 1; port < len(topo.OutPorts[n]); port++ {
+			if topo.OutPorts[n][port].Wrap {
+				if err := topo.FailLink(network.NodeID(n), port); err != nil {
+					t.Fatal(err)
+				}
+				done = true
+				break
+			}
+		}
+		if done {
+			break
+		}
+	}
+	after := Analyze(topo, cfg, HopCosts())
+	if after.Diameter < before.Diameter {
+		t.Error("diameter shrank after a fault")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	topo, cfg := buildTopo(t, topology.UniformParallelMesh, 2, 2, 2, 2)
+	if s := Analyze(topo, cfg, HopCosts()).String(); len(s) == 0 {
+		t.Error("empty report rendering")
+	}
+}

@@ -1,0 +1,277 @@
+package core
+
+import (
+	"heteroif/internal/network"
+)
+
+// HeteroPHYAdapter is the behavioral model of the heterogeneous-PHY
+// die-to-die adapter of Sec. 4.2 / Fig. 7(b). It implements
+// network.Adapter, so a network.Link with this adapter behaves as one
+// logical channel whose accept rate is B_p + B_s.
+//
+// TX side ("front-end", like a superscalar front-end): the router's switch
+// deposits flits into a multi-width FIFO (Fetch); each cycle the adapter
+// inspects packet headers (Decode), asks the scheduling policy for a PHY
+// (Dispatch) and pushes flits into the selected PHY pipeline (Issue).
+// Latency-sensitive flits may bypass a stalled queue head — but only onto
+// the parallel PHY.
+//
+// RX side ("back-end"): flits emerging from the two PHY pipelines enter the
+// reorder buffer, which releases them downstream in order (see ROB).
+//
+// The adapter adds one cycle of queueing latency on top of the PHY
+// propagation delay, matching the extra cycle the synthesized reordering
+// logic costs in Sec. 8.2.
+type HeteroPHYAdapter struct {
+	policy Policy
+
+	bits          int
+	parallelBW    int
+	serialBW      int
+	delayParallel int
+	delaySerial   int
+	pjParallel    float64
+	pjSerial      float64
+
+	txq      []txEntry
+	txCap    int
+	accepted int
+	pb, sb   int // remaining per-PHY issue budget this cycle
+
+	ppipe phyPipe
+	spipe phyPipe
+
+	rob   *ROB
+	txSN  uint32
+	txVSN []uint32
+
+	// LookAhead bounds how deep the bypass scan looks past a stalled
+	// queue head.
+	LookAhead int
+
+	nParallel uint64
+	nSerial   uint64
+	maxQ      int
+}
+
+type txEntry struct {
+	f   network.Flit
+	enq int64
+}
+
+// phyPipe is one PHY's propagation pipeline: delay stages, bandwidth flits
+// per stage.
+type phyPipe struct {
+	delay    int
+	slots    [][]network.Flit
+	head     int
+	inFlight int
+}
+
+func newPhyPipe(delay int) phyPipe {
+	return phyPipe{delay: delay, slots: make([][]network.Flit, delay)}
+}
+
+func (p *phyPipe) push(f network.Flit) {
+	slot := (p.head + p.delay - 1) % p.delay
+	p.slots[slot] = append(p.slots[slot], f)
+	p.inFlight++
+}
+
+func (p *phyPipe) advance(sink func(network.Flit)) {
+	arr := p.slots[p.head]
+	p.slots[p.head] = arr[:0]
+	p.head = (p.head + 1) % p.delay
+	for _, f := range arr {
+		p.inFlight--
+		sink(f)
+	}
+}
+
+// NewHeteroPHYAdapter builds an adapter from the simulation configuration
+// and a scheduling policy (nil means Balanced).
+func NewHeteroPHYAdapter(cfg *network.Config, policy Policy) *HeteroPHYAdapter {
+	if policy == nil {
+		policy = Balanced{}
+	}
+	a := &HeteroPHYAdapter{
+		policy:        policy,
+		bits:          cfg.FlitBits,
+		parallelBW:    cfg.ParallelBandwidth,
+		serialBW:      cfg.SerialBandwidth,
+		delayParallel: cfg.ParallelDelay,
+		delaySerial:   cfg.SerialDelay,
+		pjParallel:    cfg.ParallelPJPerBit,
+		pjSerial:      cfg.SerialPJPerBit,
+		txCap:         cfg.AdapterQueueDepth,
+		rob:           NewROB(cfg.VCs),
+		txVSN:         make([]uint32, cfg.VCs),
+		LookAhead:     8,
+	}
+	a.ppipe = newPhyPipe(a.delayParallel)
+	a.spipe = newPhyPipe(a.delaySerial)
+	a.pb, a.sb = a.parallelBW, a.serialBW
+	return a
+}
+
+// Policy returns the adapter's scheduling policy.
+func (a *HeteroPHYAdapter) Policy() Policy { return a.policy }
+
+// FreeSlots implements network.Adapter: TX queue space bounded by the
+// adapter fetch width (B_p + B_s flits per cycle).
+func (a *HeteroPHYAdapter) FreeSlots() int {
+	return min(a.txCap-len(a.txq), a.parallelBW+a.serialBW-a.accepted)
+}
+
+// Accept implements network.Adapter (the Fetch stage). If this cycle's
+// issue budget is not exhausted, the flit may be decoded and issued in the
+// same cycle — the adapter only adds queueing latency under contention,
+// matching the Sec. 8.2 observation that reordering costs a single cycle.
+func (a *HeteroPHYAdapter) Accept(now int64, f network.Flit) {
+	a.txq = append(a.txq, txEntry{f: f, enq: now})
+	a.accepted++
+	if len(a.txq) > a.maxQ {
+		a.maxQ = len(a.txq)
+	}
+	if a.pb > 0 || a.sb > 0 {
+		a.dispatch(now)
+	}
+}
+
+// InFlight implements network.Adapter.
+func (a *HeteroPHYAdapter) InFlight() int {
+	return len(a.txq) + a.ppipe.inFlight + a.spipe.inFlight + a.rob.Occupancy()
+}
+
+// Tick implements network.Adapter: advance PHY pipelines into the ROB,
+// release in-order flits downstream, then issue queued flits to the PHYs.
+func (a *HeteroPHYAdapter) Tick(now int64, deliver func(network.Flit)) {
+	a.ppipe.advance(a.rob.Insert)
+	a.spipe.advance(a.rob.Insert)
+	a.rob.Release(deliver)
+	a.pb, a.sb = a.parallelBW, a.serialBW
+	a.dispatch(now)
+	a.accepted = 0
+}
+
+func (a *HeteroPHYAdapter) dispatch(now int64) {
+	pb, sb := a.pb, a.sb
+	defer func() { a.pb, a.sb = pb, sb }()
+	// High-priority bypass first: latency-sensitive flits are issued ahead
+	// of the queue through the parallel PHY ("high-priority packets can be
+	// dispatched early through the bypass", Sec. 4.2), never overtaking a
+	// same-VC flit.
+	if pb > 0 {
+		a.bypassScan(&pb)
+	}
+	for pb > 0 || sb > 0 {
+		if len(a.txq) == 0 {
+			return
+		}
+		e := a.txq[0]
+		var phy PHY
+		var ok bool
+		if e.f.Pkt.Class == network.ClassLatencySensitive {
+			// Bypass class: parallel PHY only (Sec. 4.2).
+			phy, ok = PHYParallel, pb > 0
+		} else {
+			st := State{
+				Now:            now,
+				QueueLen:       len(a.txq),
+				QueueCap:       a.txCap,
+				ParallelBudget: pb,
+				SerialBudget:   sb,
+				Waited:         now - e.enq,
+			}
+			phy, ok = a.policy.Dispatch(st, e.f)
+			if ok && ((phy == PHYParallel && pb == 0) || (phy == PHYSerial && sb == 0)) {
+				ok = false
+			}
+		}
+		if ok {
+			a.popFront()
+			a.issue(e.f, phy, &pb, &sb)
+			continue
+		}
+		return
+	}
+}
+
+// bypassScan issues latency-sensitive flits from anywhere in the look-ahead
+// window onto the parallel PHY, preserving their relative order. A flit may
+// only jump past flits of *other* virtual channels: per-VC issue order is
+// the delivery contract (see ROB), so overtaking a same-VC flit is never
+// allowed.
+func (a *HeteroPHYAdapter) bypassScan(pb *int) {
+	limit := min(len(a.txq), 1+a.LookAhead)
+	for i := 0; i < limit && *pb > 0; {
+		if a.txq[i].f.Pkt.Class != network.ClassLatencySensitive {
+			i++
+			continue
+		}
+		vc := a.txq[i].f.VC
+		blocked := false
+		for j := 0; j < i; j++ {
+			if a.txq[j].f.VC == vc {
+				blocked = true
+				break
+			}
+		}
+		if blocked {
+			i++
+			continue
+		}
+		f := a.txq[i].f
+		copy(a.txq[i:], a.txq[i+1:])
+		a.txq[len(a.txq)-1] = txEntry{}
+		a.txq = a.txq[:len(a.txq)-1]
+		limit--
+		sb := 0
+		a.issue(f, PHYParallel, pb, &sb)
+	}
+}
+
+func (a *HeteroPHYAdapter) popFront() {
+	copy(a.txq, a.txq[1:])
+	a.txq[len(a.txq)-1] = txEntry{}
+	a.txq = a.txq[:len(a.txq)-1]
+}
+
+func (a *HeteroPHYAdapter) issue(f network.Flit, phy PHY, pb, sb *int) {
+	f.VSN = a.txVSN[f.VC]
+	a.txVSN[f.VC]++
+	if f.Pkt.Class == network.ClassInOrder {
+		f.SN = a.txSN
+		a.txSN++
+	}
+	if phy == PHYParallel {
+		*pb--
+		a.nParallel++
+		e := a.pjParallel * float64(a.bits)
+		f.EnergyPJ += e
+		f.EnergyIfacePJ += e
+		a.ppipe.push(f)
+	} else {
+		*sb--
+		a.nSerial++
+		e := a.pjSerial * float64(a.bits)
+		f.EnergyPJ += e
+		f.EnergyIfacePJ += e
+		a.spipe.push(f)
+	}
+}
+
+// ParallelFlits returns how many flits were issued to the parallel PHY.
+func (a *HeteroPHYAdapter) ParallelFlits() uint64 { return a.nParallel }
+
+// SerialFlits returns how many flits were issued to the serial PHY.
+func (a *HeteroPHYAdapter) SerialFlits() uint64 { return a.nSerial }
+
+// MaxQueue returns the TX queue high-water mark.
+func (a *HeteroPHYAdapter) MaxQueue() int { return a.maxQ }
+
+// MaxROBOccupancy returns the RX reorder-buffer high-water mark, for
+// comparison against the Eq. 1 estimate.
+func (a *HeteroPHYAdapter) MaxROBOccupancy() int { return a.rob.MaxOccupancy() }
+
+var _ network.Adapter = (*HeteroPHYAdapter)(nil)

@@ -1,0 +1,205 @@
+// Package costmodel implements a quantitative chiplet cost model in the
+// style of Chiplet Actuary (Feng & Ma, DAC'22 — the paper's reference [29]
+// and the basis of its "flexibility in economy" argument, Sec. 10): die
+// manufacturing cost from area and defect density, NRE amortization over
+// volume, packaging cost by technology, and known-good-die assembly yield.
+//
+// The heteroif experiments use it to quantify Motivation 1: reusing one
+// hetero-IF chiplet across several systems pays a small silicon-area tax
+// (the second interface) but amortizes one NRE instead of paying one per
+// system, which dominates at realistic volumes.
+package costmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Process describes a manufacturing node.
+type Process struct {
+	Name string
+	// WaferCostUSD is the processed-wafer price.
+	WaferCostUSD float64
+	// WaferDiameterMM (300 for modern fabs).
+	WaferDiameterMM float64
+	// DefectDensityPerCM2 is D0 of the negative-binomial yield model.
+	DefectDensityPerCM2 float64
+	// ClusteringAlpha is the defect-clustering parameter α (≈3 for logic).
+	ClusteringAlpha float64
+	// NREUSD is the one-time design cost of a chiplet on this node
+	// (architecture, verification, physical design, masks).
+	NREUSD float64
+}
+
+// N7 returns a 7nm-class process with public ballpark figures.
+func N7() Process {
+	return Process{
+		Name:                "N7",
+		WaferCostUSD:        9300,
+		WaferDiameterMM:     300,
+		DefectDensityPerCM2: 0.10,
+		ClusteringAlpha:     3,
+		NREUSD:              30e6,
+	}
+}
+
+// N12 returns a 12nm-class process (the paper's synthesis node).
+func N12() Process {
+	return Process{
+		Name:                "N12",
+		WaferCostUSD:        4000,
+		WaferDiameterMM:     300,
+		DefectDensityPerCM2: 0.08,
+		ClusteringAlpha:     3,
+		NREUSD:              15e6,
+	}
+}
+
+// Yield returns the negative-binomial die yield for an area in mm².
+func (p Process) Yield(areaMM2 float64) float64 {
+	aCM2 := areaMM2 / 100
+	return math.Pow(1+aCM2*p.DefectDensityPerCM2/p.ClusteringAlpha, -p.ClusteringAlpha)
+}
+
+// DiesPerWafer uses the standard geometric estimate with edge loss.
+func (p Process) DiesPerWafer(areaMM2 float64) int {
+	if areaMM2 <= 0 {
+		panic("costmodel: die area must be positive")
+	}
+	d := p.WaferDiameterMM
+	n := math.Pi*d*d/(4*areaMM2) - math.Pi*d/math.Sqrt(2*areaMM2)
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}
+
+// DieCostUSD is the cost of one known-good die (wafer cost over good dies).
+func (p Process) DieCostUSD(areaMM2 float64) float64 {
+	dies := p.DiesPerWafer(areaMM2)
+	if dies == 0 {
+		return math.Inf(1)
+	}
+	return p.WaferCostUSD / (float64(dies) * p.Yield(areaMM2))
+}
+
+// Packaging describes an integration technology.
+type Packaging struct {
+	Name string
+	// CostPerMM2USD prices the substrate/interposer by package area.
+	CostPerMM2USD float64
+	// CostPerDieUSD is the per-die assembly (bonding) cost.
+	CostPerDieUSD float64
+	// AssemblyYieldPerDie is the probability one die bonds correctly;
+	// package yield is this to the power of the die count.
+	AssemblyYieldPerDie float64
+}
+
+// OrganicSubstrate is the low-cost option (serial interfaces only — the
+// long-reach requirement of Sec. 2.2).
+func OrganicSubstrate() Packaging {
+	return Packaging{Name: "organic-substrate", CostPerMM2USD: 0.005, CostPerDieUSD: 2, AssemblyYieldPerDie: 0.999}
+}
+
+// SiliconInterposer is the high-density option parallel interfaces need.
+func SiliconInterposer() Packaging {
+	return Packaging{Name: "silicon-interposer", CostPerMM2USD: 0.06, CostPerDieUSD: 4, AssemblyYieldPerDie: 0.998}
+}
+
+// Chiplet describes one die design.
+type Chiplet struct {
+	Name    string
+	AreaMM2 float64
+	Process Process
+}
+
+// SystemPlan is one product built from chiplets.
+type SystemPlan struct {
+	Name      string
+	Chiplet   Chiplet
+	DieCount  int
+	Packaging Packaging
+	// PackageAreaMM2 (0 = estimated as 1.4× total die area).
+	PackageAreaMM2 float64
+	// Volume is the number of units the NRE amortizes over.
+	Volume int
+}
+
+// Cost breaks down the per-unit cost of a system plan. NRE is reported
+// separately so reuse scenarios can share it across plans.
+type Cost struct {
+	SiliconUSD   float64 // known-good dice
+	PackagingUSD float64 // substrate/interposer + assembly, yield-adjusted
+	NREPerUnit   float64
+	TotalUSD     float64
+}
+
+// UnitCost prices one unit of the plan, charging the full chiplet NRE to
+// this plan's volume (no reuse).
+func (s SystemPlan) UnitCost() Cost {
+	return s.unitCost(s.Chiplet.Process.NREUSD)
+}
+
+// UnitCostSharedNRE prices one unit when the chiplet design is reused
+// across several products: nreShare is the fraction of the design NRE this
+// product carries.
+func (s SystemPlan) UnitCostSharedNRE(nreShare float64) Cost {
+	return s.unitCost(s.Chiplet.Process.NREUSD * nreShare)
+}
+
+func (s SystemPlan) unitCost(nre float64) Cost {
+	if s.DieCount <= 0 || s.Volume <= 0 {
+		panic(fmt.Sprintf("costmodel: plan %q needs positive die count and volume", s.Name))
+	}
+	var c Cost
+	c.SiliconUSD = float64(s.DieCount) * s.Chiplet.Process.DieCostUSD(s.Chiplet.AreaMM2)
+	area := s.PackageAreaMM2
+	if area == 0 {
+		area = 1.4 * float64(s.DieCount) * s.Chiplet.AreaMM2
+	}
+	assemblyYield := math.Pow(s.Packaging.AssemblyYieldPerDie, float64(s.DieCount))
+	c.PackagingUSD = (area*s.Packaging.CostPerMM2USD + float64(s.DieCount)*s.Packaging.CostPerDieUSD) / assemblyYield
+	// Failed assemblies scrap their dice too.
+	c.SiliconUSD /= assemblyYield
+	c.NREPerUnit = nre / float64(s.Volume)
+	c.TotalUSD = c.SiliconUSD + c.PackagingUSD + c.NREPerUnit
+	return c
+}
+
+// ReuseScenario compares building a product family with per-product
+// uniform-interface chiplets (one NRE each) against one reusable hetero-IF
+// chiplet (one NRE total, slightly larger die for the second interface).
+type ReuseScenario struct {
+	// Plans are the products; each plan's Chiplet is the uniform-IF
+	// variant sized for that product alone.
+	Plans []SystemPlan
+	// HeteroAreaOverhead is the fractional die-area cost of carrying both
+	// interfaces (Sec. 4.3; PHY area is pin-bound, a few percent).
+	HeteroAreaOverhead float64
+}
+
+// Compare returns total family cost (USD) for the uniform and hetero
+// strategies, and the hetero saving fraction.
+func (r ReuseScenario) Compare() (uniformUSD, heteroUSD, saving float64) {
+	if len(r.Plans) == 0 {
+		panic("costmodel: scenario needs at least one plan")
+	}
+	for _, p := range r.Plans {
+		c := p.UnitCost()
+		uniformUSD += c.TotalUSD * float64(p.Volume)
+	}
+	// Hetero: one shared design; each product carries NRE ∝ its volume.
+	totalVolume := 0
+	for _, p := range r.Plans {
+		totalVolume += p.Volume
+	}
+	for _, p := range r.Plans {
+		hp := p
+		hp.Chiplet.AreaMM2 *= 1 + r.HeteroAreaOverhead
+		share := float64(p.Volume) / float64(totalVolume)
+		c := hp.UnitCostSharedNRE(share)
+		heteroUSD += c.TotalUSD * float64(p.Volume)
+	}
+	saving = 1 - heteroUSD/uniformUSD
+	return uniformUSD, heteroUSD, saving
+}

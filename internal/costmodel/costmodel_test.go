@@ -1,0 +1,139 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestYieldMonotoneInArea(t *testing.T) {
+	p := N7()
+	f := func(a, b uint16) bool {
+		x, y := float64(a%800)+1, float64(b%800)+1
+		if x > y {
+			x, y = y, x
+		}
+		return p.Yield(x) >= p.Yield(y) && p.Yield(x) <= 1 && p.Yield(y) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestYieldKnownPoint(t *testing.T) {
+	// 100 mm² at D0=0.1/cm², α=3: Y = (1 + 0.1/3)^-3 ≈ 0.906.
+	p := N7()
+	if y := p.Yield(100); math.Abs(y-0.9063) > 0.001 {
+		t.Fatalf("yield(100mm²) = %.4f, want ≈0.906", y)
+	}
+}
+
+func TestDiesPerWafer(t *testing.T) {
+	p := N7()
+	// 100 mm² dies on 300 mm wafer: π·150² /100 − π·300/√200 ≈ 707−67 ≈ 640.
+	if n := p.DiesPerWafer(100); n < 600 || n > 660 {
+		t.Fatalf("dies per wafer = %d, want ≈640", n)
+	}
+	// Bigger dies, fewer per wafer.
+	if p.DiesPerWafer(400) >= p.DiesPerWafer(100) {
+		t.Fatal("dies per wafer must shrink with area")
+	}
+}
+
+func TestDieCostSuperlinearInArea(t *testing.T) {
+	// Doubling the area more than doubles the cost (yield loss): the
+	// classic economic argument FOR chiplets.
+	p := N7()
+	small, big := p.DieCostUSD(200), p.DieCostUSD(400)
+	if big <= 2*small {
+		t.Fatalf("die cost must grow superlinearly: 200mm²=$%.0f, 400mm²=$%.0f", small, big)
+	}
+}
+
+func TestUnitCostBreakdown(t *testing.T) {
+	plan := SystemPlan{
+		Name:     "board",
+		Chiplet:  Chiplet{Name: "tile", AreaMM2: 100, Process: N7()},
+		DieCount: 4, Packaging: SiliconInterposer(),
+		Volume: 100000,
+	}
+	c := plan.UnitCost()
+	if c.SiliconUSD <= 0 || c.PackagingUSD <= 0 || c.NREPerUnit <= 0 {
+		t.Fatalf("degenerate breakdown: %+v", c)
+	}
+	if got := c.SiliconUSD + c.PackagingUSD + c.NREPerUnit; math.Abs(got-c.TotalUSD) > 1e-9 {
+		t.Fatalf("total %.2f != sum %.2f", c.TotalUSD, got)
+	}
+	// NRE at 100k units of a $30M design = $300/unit.
+	if math.Abs(c.NREPerUnit-300) > 1e-9 {
+		t.Fatalf("NRE/unit = %.2f, want 300", c.NREPerUnit)
+	}
+	// Shared NRE must be cheaper.
+	shared := plan.UnitCostSharedNRE(0.25)
+	if shared.TotalUSD >= c.TotalUSD {
+		t.Fatal("shared NRE did not reduce unit cost")
+	}
+}
+
+func TestInterposerCostsMoreThanSubstrate(t *testing.T) {
+	base := SystemPlan{
+		Chiplet:  Chiplet{AreaMM2: 100, Process: N12()},
+		DieCount: 4, Volume: 50000,
+	}
+	sub, itp := base, base
+	sub.Packaging = OrganicSubstrate()
+	itp.Packaging = SiliconInterposer()
+	if itp.UnitCost().PackagingUSD <= sub.UnitCost().PackagingUSD {
+		t.Fatal("interposer should cost more than organic substrate")
+	}
+}
+
+func TestReuseScenarioSavings(t *testing.T) {
+	// Three products (Fig. 2): mobile (2 dies), board (16), rack (64) at
+	// different volumes. One hetero chiplet (+5% area) vs three uniform
+	// designs.
+	chip := Chiplet{Name: "tile", AreaMM2: 80, Process: N7()}
+	scenario := ReuseScenario{
+		Plans: []SystemPlan{
+			{Name: "mobile", Chiplet: chip, DieCount: 2, Packaging: SiliconInterposer(), Volume: 1000000},
+			{Name: "board", Chiplet: chip, DieCount: 16, Packaging: SiliconInterposer(), Volume: 100000},
+			{Name: "rack", Chiplet: chip, DieCount: 64, Packaging: OrganicSubstrate(), Volume: 10000},
+		},
+		HeteroAreaOverhead: 0.05,
+	}
+	uniform, hetero, saving := scenario.Compare()
+	if !(hetero < uniform) {
+		t.Fatalf("reuse must save: uniform $%.0f vs hetero $%.0f", uniform, hetero)
+	}
+	if saving <= 0 || saving >= 1 {
+		t.Fatalf("saving fraction %.3f out of range", saving)
+	}
+	// The saving comes from NRE: with enormous volumes the area tax wins
+	// instead, so at 100× volume the saving must shrink.
+	big := scenario
+	big.Plans = append([]SystemPlan(nil), scenario.Plans...)
+	for i := range big.Plans {
+		big.Plans[i].Volume *= 100
+	}
+	_, _, bigSaving := big.Compare()
+	if bigSaving >= saving {
+		t.Fatalf("saving should shrink with volume (NRE amortizes anyway): %.3f vs %.3f", bigSaving, saving)
+	}
+}
+
+func TestPanicsOnInvalidPlans(t *testing.T) {
+	for _, f := range []func(){
+		func() { N7().DiesPerWafer(0) },
+		func() { (SystemPlan{DieCount: 0, Volume: 1}).UnitCost() },
+		func() { (ReuseScenario{}).Compare() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

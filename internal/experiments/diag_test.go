@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"sort"
+	"testing"
+
+	"heteroif/internal/topology"
+	"heteroif/internal/traffic"
+)
+
+// TestHypercubeMediumScale reproduces the Table-3 16×(6×6) configuration
+// for the uniform-serial hypercube, which must deliver packets at 0.1
+// flits/cycle/node.
+func TestHypercubeMediumScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium-scale diagnostic")
+	}
+	cfg := shortCfg()
+	cfg.SimCycles = 8000
+	cfg.WarmupCycles = 2000
+	spec := topology.Spec{System: topology.UniformSerialHypercube, ChipletsX: 4, ChipletsY: 4, NodesX: 6, NodesY: 6}
+	in, err := Build(cfg, spec)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := in.RunSynthetic(traffic.Uniform{}, 0.1); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	t.Logf("injected=%d delivered=%d queued=%d inflight=%d measured=%d meanLat=%.1f",
+		in.Net.PacketsInjected(), in.Net.PacketsDelivered(), in.Net.QueuedPackets(),
+		in.Net.InFlightFlits(), in.Stats.Count(), in.Stats.MeanLatency())
+	t.Logf("snapshot:\n%s", in.Net.TakeSnapshot(8))
+	type lu struct {
+		id   int
+		u    float64
+		kind string
+	}
+	var lus []lu
+	for _, l := range in.Net.Links {
+		u := float64(l.SentTotal) / float64(in.Net.Now) / float64(l.Bandwidth)
+		lus = append(lus, lu{l.ID, u, l.Kind.String()})
+	}
+	sort.Slice(lus, func(i, j int) bool { return lus[i].u > lus[j].u })
+	for i := 0; i < 10 && i < len(lus); i++ {
+		l := in.Net.Links[lus[i].id]
+		t.Logf("link %d %s %d->%d util=%.2f", l.ID, lus[i].kind, l.Src, l.Dst, lus[i].u)
+	}
+	t.Logf("grants by kind: onchip=%d par=%d ser=%d het=%d local=%d vafail=%d", in.Net.GrantsByKind[0], in.Net.GrantsByKind[1], in.Net.GrantsByKind[2], in.Net.GrantsByKind[3], in.Net.GrantsByKind[4], in.Net.VAFailures)
+	if in.Stats.Count() == 0 {
+		t.Fatal("no packets measured in window")
+	}
+	del := float64(in.Net.PacketsDelivered()) / float64(in.Net.PacketsInjected())
+	if del < 0.8 {
+		t.Fatalf("only %.0f%% of injected packets delivered", 100*del)
+	}
+}
+
+// TestHypercubeDrains checks for partial deadlock: after a burst of load,
+// the hypercube must fully drain.
+func TestHypercubeDrains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium-scale diagnostic")
+	}
+	cfg := shortCfg()
+	cfg.SimCycles = 3000
+	cfg.WarmupCycles = 500
+	cfg.DrainCycles = 60000
+	spec := topology.Spec{System: topology.UniformSerialHypercube, ChipletsX: 4, ChipletsY: 4, NodesX: 6, NodesY: 6}
+	in, err := Build(cfg, spec)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := in.RunSynthetic(traffic.Uniform{}, 0.1); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	drained, err := in.Net.Drain()
+	if err != nil {
+		t.Fatalf("drain: %v\n%s\n%s", err, in.Net.TakeSnapshot(10), in.Net.DeadlockReport(25))
+	}
+	if !drained {
+		t.Fatalf("did not drain:\n%s", in.Net.TakeSnapshot(10))
+	}
+	t.Logf("drained OK at cycle %d, delivered %d", in.Net.Now, in.Net.PacketsDelivered())
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"heteroif/internal/costmodel"
+)
+
+// runEconomy quantifies the paper's "flexibility in economy" claim
+// (Sec. 10, building on the Chiplet Actuary model [29]): one hetero-IF
+// chiplet reused across the Fig. 2 product family (mobile / board / rack)
+// versus a uniform-interface chiplet redesigned per product. The second
+// interface costs a few percent of die area; the saved NREs dominate until
+// volumes grow enormous.
+func runEconomy(o Options, w io.Writer) error {
+	chip := costmodel.Chiplet{Name: "compute-tile", AreaMM2: 80, Process: costmodel.N7()}
+	family := []costmodel.SystemPlan{
+		{Name: "mobile (2 dies)", Chiplet: chip, DieCount: 2, Packaging: costmodel.SiliconInterposer(), Volume: 1000000},
+		{Name: "board (16 dies)", Chiplet: chip, DieCount: 16, Packaging: costmodel.SiliconInterposer(), Volume: 100000},
+		{Name: "rack (64 dies)", Chiplet: chip, DieCount: 64, Packaging: costmodel.OrganicSubstrate(), Volume: 10000},
+	}
+
+	fmt.Fprintln(w, "per-product unit economics (uniform-IF chiplet, own NRE):")
+	for _, p := range family {
+		c := p.UnitCost()
+		fmt.Fprintf(w, "  %-18s silicon=$%-8.0f packaging=$%-8.0f NRE/unit=$%-8.0f total=$%.0f\n",
+			p.Name, c.SiliconUSD, c.PackagingUSD, c.NREPerUnit, c.TotalUSD)
+	}
+
+	fmt.Fprintln(w, "\nfamily cost: one reusable hetero-IF chiplet vs three uniform designs")
+	fmt.Fprintf(w, "%-22s %-16s %-16s %s\n", "area overhead", "uniform ($M)", "hetero ($M)", "saving")
+	var rows [][]string
+	for _, overhead := range []float64{0.03, 0.05, 0.10, 0.20} {
+		scenario := costmodel.ReuseScenario{Plans: family, HeteroAreaOverhead: overhead}
+		uniform, hetero, saving := scenario.Compare()
+		fmt.Fprintf(w, "%-22s %-16.1f %-16.1f %.1f%%\n",
+			fmt.Sprintf("+%.0f%% die area", 100*overhead), uniform/1e6, hetero/1e6, 100*saving)
+		rows = append(rows, []string{
+			strconv.FormatFloat(overhead, 'f', 2, 64),
+			strconv.FormatFloat(uniform, 'f', 0, 64),
+			strconv.FormatFloat(hetero, 'f', 0, 64),
+			strconv.FormatFloat(saving, 'f', 4, 64),
+		})
+	}
+	fmt.Fprintln(w, "\n\"Flexibility itself is the most significant cost saving.\" (Sec. 4.3)")
+	return writeCSV(o.CSVDir, "economy", []string{"area_overhead", "uniform_usd", "hetero_usd", "saving"}, rows)
+}

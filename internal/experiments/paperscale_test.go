@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"heteroif/internal/traffic"
+)
+
+// TestPaperScaleOrdering runs one operating point (uniform @ 0.1) on the
+// paper-scale 3136-node systems — roughly ten minutes of CPU — and checks
+// the headline Fig. 14 claim at the scale the paper actually evaluates:
+// hetero-channel beats both uniform baselines decisively (measured: 87
+// cycles unsaturated vs 408 for the saturated mesh and 653 for the
+// saturated hypercube). Known deviation, logged not asserted: our
+// hypercube baseline stays behind the mesh even at 3136 nodes — its
+// phase-partitioned escape discipline spends both Table 2 VCs, whereas
+// [30]'s original construction presumably provisions more; see
+// EXPERIMENTS.md. Gated behind HETEROIF_PAPERSCALE=1 so regular test runs
+// stay fast.
+func TestPaperScaleOrdering(t *testing.T) {
+	if os.Getenv("HETEROIF_PAPERSCALE") == "" {
+		t.Skip("set HETEROIF_PAPERSCALE=1 to run the 3136-node spot check")
+	}
+	cfg := baseConfig(Options{}) // CI windows: 20k cycles
+	lat := map[string]float64{}
+	thr := map[string]float64{}
+	for _, v := range heteroChannelVariants(cfg, 8, 8, 7, 7) {
+		r, err := runPoint(v, traffic.Uniform{}, 0.1)
+		if err != nil {
+			t.Fatalf("%s: %v", v.Name, err)
+		}
+		lat[v.Name] = r.MeanLatency
+		thr[v.Name] = r.Throughput
+		t.Logf("%-26s lat=%8.1f thr=%.4f sat=%v", v.Name, r.MeanLatency, r.Throughput, r.Saturated)
+	}
+	if lat["uniform-serial-hypercube"] >= lat["uniform-parallel-mesh"] {
+		t.Logf("deviation (documented): hypercube %.1f behind mesh %.1f at 3136 nodes",
+			lat["uniform-serial-hypercube"], lat["uniform-parallel-mesh"])
+	}
+	if lat["hetero-channel-full"] >= lat["uniform-serial-hypercube"] ||
+		lat["hetero-channel-full"] >= lat["uniform-parallel-mesh"] {
+		t.Errorf("hetero-channel (%.1f) must beat both baselines (mesh %.1f, cube %.1f)",
+			lat["hetero-channel-full"], lat["uniform-parallel-mesh"], lat["uniform-serial-hypercube"])
+	}
+	if thr["hetero-channel-full"] < 0.095 {
+		t.Errorf("hetero-channel should sustain ≈0.1 flits/cycle/node, got %.4f", thr["hetero-channel-full"])
+	}
+}

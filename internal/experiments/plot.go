@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// asciiPlot renders latency-vs-injection curves as a terminal chart, the
+// textual analogue of the Fig. 11/13/14/15 panels. Each series gets a
+// marker; saturated points render as '!'.
+type asciiPlot struct {
+	Title  string
+	Width  int
+	Height int
+
+	series []plotSeries
+}
+
+type plotSeries struct {
+	name   string
+	marker byte
+	pts    [][3]float64 // x, y, saturated(1/0)
+}
+
+var plotMarkers = []byte{'o', '*', '+', 'x', '#', '@'}
+
+// add appends a series from results (x = offered rate, y = mean latency).
+func (p *asciiPlot) add(name string, rs []Result) {
+	s := plotSeries{name: name, marker: plotMarkers[len(p.series)%len(plotMarkers)]}
+	for _, r := range rs {
+		sat := 0.0
+		if r.Saturated {
+			sat = 1
+		}
+		if !math.IsNaN(r.MeanLatency) {
+			s.pts = append(s.pts, [3]float64{r.Rate, r.MeanLatency, sat})
+		}
+	}
+	p.series = append(p.series, s)
+}
+
+// render draws the chart. The y axis is clipped at 4× the lowest zero-load
+// latency so saturation blowups don't flatten the interesting region.
+func (p *asciiPlot) render(w io.Writer) {
+	if len(p.series) == 0 {
+		return
+	}
+	width, height := p.Width, p.Height
+	if width <= 0 {
+		width = 56
+	}
+	if height <= 0 {
+		height = 14
+	}
+	minY, maxX := math.Inf(1), 0.0
+	for _, s := range p.series {
+		for _, pt := range s.pts {
+			minY = math.Min(minY, pt[1])
+			maxX = math.Max(maxX, pt[0])
+		}
+	}
+	if math.IsInf(minY, 1) || maxX == 0 {
+		return
+	}
+	maxY := 4 * minY
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range p.series {
+		pts := append([][3]float64(nil), s.pts...)
+		sort.Slice(pts, func(i, j int) bool { return pts[i][0] < pts[j][0] })
+		for _, pt := range pts {
+			cx := int(pt[0] / maxX * float64(width-1))
+			y := pt[1]
+			marker := s.marker
+			if pt[2] > 0 || y > maxY {
+				y = maxY
+				marker = '!'
+			}
+			cy := height - 1 - int((y-minY)/(maxY-minY)*float64(height-1))
+			if cy < 0 {
+				cy = 0
+			}
+			if cy >= height {
+				cy = height - 1
+			}
+			grid[cy][cx] = marker
+		}
+	}
+	fmt.Fprintf(w, "\n%s  (y: %.0f..%.0f cycles, x: 0..%.2f flits/cycle/node, '!' = saturated)\n",
+		p.Title, minY, maxY, maxX)
+	for i, row := range grid {
+		label := "      "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%5.0f ", maxY)
+		case height - 1:
+			label = fmt.Sprintf("%5.0f ", minY)
+		}
+		fmt.Fprintf(w, "%s|%s\n", label, string(row))
+	}
+	fmt.Fprintf(w, "      +%s\n", strings.Repeat("-", width))
+	var legend []string
+	for _, s := range p.series {
+		legend = append(legend, fmt.Sprintf("%c=%s", s.marker, s.name))
+	}
+	fmt.Fprintf(w, "       %s\n\n", strings.Join(legend, "  "))
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAsciiPlotRendersSeries(t *testing.T) {
+	p := &asciiPlot{Title: "test chart"}
+	p.add("alpha", []Result{
+		{Rate: 0.1, MeanLatency: 20},
+		{Rate: 0.2, MeanLatency: 25},
+		{Rate: 0.3, MeanLatency: 60, Saturated: true},
+	})
+	p.add("beta", []Result{
+		{Rate: 0.1, MeanLatency: 30},
+		{Rate: 0.3, MeanLatency: 40},
+	})
+	var buf bytes.Buffer
+	p.render(&buf)
+	out := buf.String()
+	for _, want := range []string{"test chart", "o=alpha", "*=beta", "!"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines < 10 {
+		t.Errorf("plot suspiciously small (%d lines)", lines)
+	}
+}
+
+func TestAsciiPlotEmptyAndDegenerate(t *testing.T) {
+	var buf bytes.Buffer
+	(&asciiPlot{Title: "empty"}).render(&buf)
+	if buf.Len() != 0 {
+		t.Error("empty plot rendered output")
+	}
+	p := &asciiPlot{Title: "zero-x"}
+	p.add("a", []Result{{Rate: 0, MeanLatency: 10}})
+	buf.Reset()
+	p.render(&buf)
+	if buf.Len() != 0 {
+		t.Error("zero-range plot rendered output")
+	}
+}
+
+func TestAsciiPlotClipsSaturationBlowups(t *testing.T) {
+	p := &asciiPlot{Title: "clip"}
+	p.add("a", []Result{
+		{Rate: 0.1, MeanLatency: 20},
+		{Rate: 0.2, MeanLatency: 90000}, // post-saturation blowup
+	})
+	var buf bytes.Buffer
+	p.render(&buf)
+	if !strings.Contains(buf.String(), "y: 20..80") {
+		t.Errorf("y axis not clipped at 4× zero-load:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "!") {
+		t.Error("clipped point not marked saturated")
+	}
+}

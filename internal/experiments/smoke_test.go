@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestEveryExperimentSmokes runs the complete registry at Tiny scale: every
+// runner must execute without error, produce output, and write its CSV.
+// This is the regression net for the experiment harness itself; the
+// CI-scale and paper-scale runs happen through cmd/hetsim and the root
+// benchmarks.
+func TestEveryExperimentSmokes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke suite takes ~a minute")
+	}
+	dir := t.TempDir()
+	for _, e := range Registry {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(Options{Tiny: true, CSVDir: dir}, &buf); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+			if strings.Contains(buf.String(), "NaN") {
+				t.Errorf("%s output contains NaN:\n%s", e.ID, buf.String())
+			}
+		})
+	}
+}

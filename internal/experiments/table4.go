@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"heteroif/internal/rtl"
+)
+
+// runTable4 reproduces Table 4: post-synthesis estimates for the adapter
+// RX/TX and the regular vs heterogeneous router, plus the paper's headline
+// ratios (hetero router ≈ +45% area / +33% power, frequency ≈ unchanged).
+func runTable4(o Options, w io.Writer) error {
+	reports := rtl.Table4()
+	var rows [][]string
+	for _, r := range reports {
+		fmt.Fprintln(w, r)
+		rows = append(rows, []string{
+			r.Name,
+			strconv.FormatFloat(r.AreaUM2, 'f', 0, 64),
+			strconv.FormatFloat(r.PowerMW, 'f', 2, 64),
+			strconv.FormatFloat(r.FJPerBit, 'f', 1, 64),
+			strconv.FormatFloat(r.FreqGHz, 'f', 2, 64),
+			strconv.FormatFloat(r.CriticalPathNS, 'f', 2, 64),
+		})
+	}
+	reg, het := reports[2], reports[3]
+	fmt.Fprintf(w, "\nhetero vs regular router: area %+0.0f%%, power %+0.0f%%, freq %0.0f%% of regular\n",
+		100*(het.AreaUM2/reg.AreaUM2-1), 100*(het.PowerMW/reg.PowerMW-1), 100*het.FreqGHz/reg.FreqGHz)
+	return writeCSV(o.CSVDir, "table4",
+		[]string{"module", "area_um2", "power_mw", "fj_per_bit", "freq_ghz", "critical_path_ns"}, rows)
+}

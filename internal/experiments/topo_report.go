@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"heteroif/internal/analysis"
+	"heteroif/internal/topology"
+)
+
+// runTopo prints the static metrics behind the paper's motivation: a flat
+// parallel mesh's diameter grows as O(√N) (Sec. 1), the serial torus and
+// hypercube shrink it at a per-hop latency cost, and the heterogeneous
+// systems combine the low per-hop latency with the shortcut diameter.
+// Both hop metrics and zero-load latency metrics (Eq. 3/4 weights) are
+// reported for every system at three scales.
+func runTopo(o Options, w io.Writer) error {
+	cfg := baseConfig(o)
+	scales := []struct {
+		label          string
+		cx, cy, nx, ny int
+	}{
+		{"16x(2x2)", 4, 4, 2, 2},
+		{"16x(4x4)", 4, 4, 4, 4},
+		{"64x(7x7)", 8, 8, 7, 7},
+	}
+	if !o.Full {
+		scales = scales[:2]
+	}
+	if o.Tiny {
+		scales = scales[:1]
+	}
+	systems := []topology.System{
+		topology.UniformParallelMesh,
+		topology.UniformSerialTorus,
+		topology.HeteroPHYTorus,
+		topology.UniformSerialHypercube,
+		topology.HeteroChannel,
+	}
+	var rows [][]string
+	for _, sc := range scales {
+		fmt.Fprintf(w, "--- scale %s ---\n", sc.label)
+		for _, sys := range systems {
+			_, topo, err := topology.Build(cfg, topology.Spec{
+				System: sys, ChipletsX: sc.cx, ChipletsY: sc.cy, NodesX: sc.nx, NodesY: sc.ny,
+			})
+			if err != nil {
+				return err
+			}
+			hop := analysis.Analyze(topo, &cfg, analysis.HopCosts())
+			lat := analysis.Analyze(topo, &cfg, analysis.LatencyCosts(&cfg))
+			fmt.Fprintf(w, "%-26s hops: diam=%-3d avg=%-6.2f  latency: diam=%-4d avg=%-7.2f  bisection=%-4d ifBW=%d\n",
+				sys, hop.Diameter, hop.AvgDistance, lat.Diameter, lat.AvgDistance, hop.BisectionFlits, hop.InterfacePins)
+			rows = append(rows, []string{
+				sc.label, sys.String(),
+				strconv.Itoa(hop.Diameter), strconv.FormatFloat(hop.AvgDistance, 'f', 2, 64),
+				strconv.Itoa(lat.Diameter), strconv.FormatFloat(lat.AvgDistance, 'f', 2, 64),
+				strconv.Itoa(hop.BisectionFlits), strconv.Itoa(hop.InterfacePins),
+			})
+		}
+	}
+	return writeCSV(o.CSVDir, "topo", []string{
+		"scale", "system", "hop_diameter", "hop_avg", "latency_diameter", "latency_avg", "bisection_flits", "interface_bw",
+	}, rows)
+}

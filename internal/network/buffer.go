@@ -1,0 +1,65 @@
+package network
+
+// FlitQueue is a bounded FIFO of flits backed by a ring buffer. It is the
+// storage behind every virtual-channel input buffer and adapter queue.
+type FlitQueue struct {
+	buf  []Flit
+	head int
+	n    int
+}
+
+// NewFlitQueue returns a queue with the given capacity in flits.
+func NewFlitQueue(capacity int) *FlitQueue {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &FlitQueue{buf: make([]Flit, capacity)}
+}
+
+// Cap returns the queue capacity.
+func (q *FlitQueue) Cap() int { return len(q.buf) }
+
+// Len returns the number of buffered flits.
+func (q *FlitQueue) Len() int { return q.n }
+
+// Free returns the remaining capacity.
+func (q *FlitQueue) Free() int { return len(q.buf) - q.n }
+
+// Empty reports whether the queue holds no flits.
+func (q *FlitQueue) Empty() bool { return q.n == 0 }
+
+// Push appends a flit. It reports false (dropping nothing) when full; flow
+// control is supposed to prevent that, and callers treat false as a bug.
+func (q *FlitQueue) Push(f Flit) bool {
+	if q.n == len(q.buf) {
+		return false
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = f
+	q.n++
+	return true
+}
+
+// Front returns the oldest flit without removing it. It must not be called
+// on an empty queue.
+func (q *FlitQueue) Front() Flit { return q.buf[q.head] }
+
+// At returns the i-th oldest flit (0 = front). It must be in range.
+func (q *FlitQueue) At(i int) Flit { return q.buf[(q.head+i)%len(q.buf)] }
+
+// Pop removes and returns the oldest flit. It must not be called on an
+// empty queue.
+func (q *FlitQueue) Pop() Flit {
+	f := q.buf[q.head]
+	q.buf[q.head] = Flit{}
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return f
+}
+
+// Reset discards all buffered flits.
+func (q *FlitQueue) Reset() {
+	for i := range q.buf {
+		q.buf[i] = Flit{}
+	}
+	q.head, q.n = 0, 0
+}

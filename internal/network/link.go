@@ -1,0 +1,163 @@
+package network
+
+// Adapter is the behavioral interface of a heterogeneous-PHY die-to-die
+// adapter (Sec. 4.2). A Link with a non-nil Adapter delegates flit transport
+// to it instead of the plain bandwidth×delay pipeline; the adapter owns the
+// TX multi-width FIFO, the per-PHY pipelines, the RX reorder buffer and the
+// dispatch policy. Implemented by internal/core.
+type Adapter interface {
+	// FreeSlots returns how many flits the adapter can accept this cycle,
+	// bounded by the TX queue space and the adapter fetch width.
+	FreeSlots() int
+	// Accept enqueues a flit into the TX queue. The caller must have
+	// checked FreeSlots.
+	Accept(now int64, f Flit)
+	// Tick advances the adapter by one cycle: dispatches queued flits to
+	// the PHYs per the scheduling policy, advances the PHY pipelines, and
+	// invokes deliver for every flit released in order by the RX side.
+	Tick(now int64, deliver func(Flit))
+	// InFlight returns the number of flits resident anywhere inside the
+	// adapter (TX queue, PHY pipelines, RX reorder buffer).
+	InFlight() int
+}
+
+// Link is a unidirectional physical channel between two routers, modeled as
+// a pipeline with Bandwidth flits per stage and Delay stages (Sec. 7.1
+// "Interface Model": virtual pipeline registers in the on-chip clock
+// domain). It also carries the reverse credit pipeline with the same delay.
+type Link struct {
+	ID   int
+	Kind LinkKind
+
+	Src     NodeID
+	SrcPort int // output-port index at the source router
+	Dst     NodeID
+	DstPort int // input-port index at the destination router
+
+	Bandwidth int
+	Delay     int
+
+	// PJPerBit is the per-bit traversal energy (0 for hetero-PHY links,
+	// whose adapter accounts energy per PHY).
+	PJPerBit float64
+
+	// Adapter is non-nil for hetero-PHY links.
+	Adapter Adapter
+
+	bits int // flit width in bits, for energy accounting
+
+	pipe     [][]Flit
+	pipeHead int
+	inFlight int
+
+	creditPipe      [][]VCID
+	creditHead      int
+	creditsInFlight int
+
+	accepted int // flits accepted this cycle (plain pipeline rate limit)
+
+	// SentTotal counts flits ever accepted (utilization diagnostics).
+	SentTotal uint64
+}
+
+// NewLink constructs a link of the given kind with bandwidth/delay/energy
+// taken from cfg. Hetero-PHY links get their adapter attached separately.
+func NewLink(cfg *Config, id int, kind LinkKind, src NodeID, srcPort int, dst NodeID, dstPort int) *Link {
+	l := &Link{
+		ID:        id,
+		Kind:      kind,
+		Src:       src,
+		SrcPort:   srcPort,
+		Dst:       dst,
+		DstPort:   dstPort,
+		Bandwidth: cfg.Bandwidth(kind),
+		Delay:     cfg.Delay(kind),
+		PJPerBit:  cfg.LinkPJPerBit(kind),
+		bits:      cfg.FlitBits,
+	}
+	l.pipe = make([][]Flit, l.Delay)
+	l.creditPipe = make([][]VCID, l.Delay)
+	return l
+}
+
+// FreeSlots returns how many more flits the link can accept this cycle.
+func (l *Link) FreeSlots() int {
+	if l.Adapter != nil {
+		return l.Adapter.FreeSlots()
+	}
+	return l.Bandwidth - l.accepted
+}
+
+// Accept pushes a flit into the link this cycle. The flit will be delivered
+// Delay cycles later (or per the adapter's PHY selection for hetero links).
+func (l *Link) Accept(now int64, f Flit) {
+	if l.Adapter != nil {
+		l.Adapter.Accept(now, f)
+		return
+	}
+	if l.PJPerBit != 0 {
+		e := l.PJPerBit * float64(l.bits)
+		f.EnergyPJ += e
+		if l.Kind == KindOnChip {
+			f.EnergyOnChipPJ += e
+		} else {
+			f.EnergyIfacePJ += e
+		}
+	}
+	slot := (l.pipeHead + l.Delay - 1) % l.Delay
+	l.pipe[slot] = append(l.pipe[slot], f)
+	l.inFlight++
+	l.accepted++
+	l.SentTotal++
+}
+
+// Arrivals advances the forward pipeline one cycle and returns the flits
+// arriving at the sink. The returned slice is valid until the next call.
+func (l *Link) Arrivals(now int64, deliver func(Flit)) {
+	if l.Adapter != nil {
+		l.Adapter.Tick(now, deliver)
+		return
+	}
+	arr := l.pipe[l.pipeHead]
+	l.pipe[l.pipeHead] = arr[:0]
+	l.pipeHead = (l.pipeHead + 1) % l.Delay
+	for _, f := range arr {
+		l.inFlight--
+		deliver(f)
+	}
+	l.accepted = 0
+}
+
+// ReturnCredit sends one credit for the given downstream VC back to the
+// source router; it arrives after the link delay.
+func (l *Link) ReturnCredit(vc VCID) {
+	slot := (l.creditHead + l.Delay - 1) % l.Delay
+	l.creditPipe[slot] = append(l.creditPipe[slot], vc)
+	l.creditsInFlight++
+}
+
+// CreditArrivals advances the credit pipeline one cycle and invokes restore
+// for every credit completing its return trip.
+func (l *Link) CreditArrivals(restore func(VCID)) {
+	arr := l.creditPipe[l.creditHead]
+	l.creditPipe[l.creditHead] = arr[:0]
+	l.creditHead = (l.creditHead + 1) % l.Delay
+	for _, vc := range arr {
+		l.creditsInFlight--
+		restore(vc)
+	}
+}
+
+// InFlight returns the number of flits inside the link (including adapter
+// internals for hetero links).
+func (l *Link) InFlight() int {
+	if l.Adapter != nil {
+		return l.Adapter.InFlight()
+	}
+	return l.inFlight
+}
+
+// Busy reports whether the link holds any flits or credits in flight.
+func (l *Link) Busy() bool {
+	return l.InFlight() > 0 || l.creditsInFlight > 0 || (l.Adapter == nil && l.accepted > 0)
+}

@@ -1,0 +1,144 @@
+package network
+
+import "testing"
+
+func testLink(kind LinkKind) (*Link, *Config) {
+	cfg := DefaultConfig()
+	l := NewLink(&cfg, 0, kind, 0, 1, 1, 1)
+	return l, &cfg
+}
+
+func collect(l *Link, now int64) []Flit {
+	var out []Flit
+	l.Arrivals(now, func(f Flit) { out = append(out, f) })
+	return out
+}
+
+func TestLinkDeliversAfterDelay(t *testing.T) {
+	l, cfg := testLink(KindParallel)
+	pkt := &Packet{ID: 1, Length: 1}
+	l.Accept(0, Flit{Pkt: pkt})
+	for cyc := 1; cyc < cfg.ParallelDelay; cyc++ {
+		if got := collect(l, int64(cyc)); len(got) != 0 {
+			t.Fatalf("flit emerged after %d cycles, want %d", cyc, cfg.ParallelDelay)
+		}
+	}
+	if got := collect(l, int64(cfg.ParallelDelay)); len(got) != 1 {
+		t.Fatalf("flit did not emerge after delay %d", cfg.ParallelDelay)
+	}
+	if l.InFlight() != 0 {
+		t.Fatalf("in-flight count %d after delivery", l.InFlight())
+	}
+}
+
+func TestLinkBandwidthLimit(t *testing.T) {
+	l, cfg := testLink(KindSerial)
+	if l.FreeSlots() != cfg.SerialBandwidth {
+		t.Fatalf("free slots %d, want %d", l.FreeSlots(), cfg.SerialBandwidth)
+	}
+	pkt := &Packet{ID: 1, Length: 8}
+	for i := 0; i < cfg.SerialBandwidth; i++ {
+		l.Accept(0, Flit{Pkt: pkt, Seq: int32(i)})
+	}
+	if l.FreeSlots() != 0 {
+		t.Fatalf("free slots %d after filling cycle budget", l.FreeSlots())
+	}
+	// The budget resets once the pipeline advances.
+	collect(l, 1)
+	if l.FreeSlots() != cfg.SerialBandwidth {
+		t.Fatalf("budget did not reset: %d", l.FreeSlots())
+	}
+}
+
+func TestLinkPreservesOrderWithinAndAcrossCycles(t *testing.T) {
+	l, _ := testLink(KindParallel)
+	pkt := &Packet{ID: 1, Length: 6}
+	var got []int32
+	now := int64(0)
+	seq := int32(0)
+	for cyc := 0; cyc < 12; cyc++ {
+		for _, f := range collect(l, now) {
+			got = append(got, f.Seq)
+		}
+		for i := 0; i < 2 && seq < 6; i++ {
+			l.Accept(now, Flit{Pkt: pkt, Seq: seq})
+			seq++
+		}
+		now++
+	}
+	if len(got) != 6 {
+		t.Fatalf("delivered %d flits, want 6", len(got))
+	}
+	for i, s := range got {
+		if s != int32(i) {
+			t.Fatalf("order broken: position %d has seq %d", i, s)
+		}
+	}
+}
+
+func TestLinkCreditReturnDelay(t *testing.T) {
+	l, cfg := testLink(KindParallel)
+	l.ReturnCredit(1)
+	returned := 0
+	for cyc := 1; cyc <= cfg.ParallelDelay; cyc++ {
+		l.CreditArrivals(func(vc VCID) {
+			if vc != 1 {
+				t.Errorf("credit for vc %d, want 1", vc)
+			}
+			returned++
+		})
+		if cyc < cfg.ParallelDelay && returned != 0 {
+			t.Fatalf("credit returned after %d cycles, want %d", cyc, cfg.ParallelDelay)
+		}
+	}
+	if returned != 1 {
+		t.Fatalf("credit not returned after delay")
+	}
+}
+
+func TestLinkEnergyAccounting(t *testing.T) {
+	l, cfg := testLink(KindSerial)
+	pkt := &Packet{ID: 1, Length: 1}
+	l.Accept(0, Flit{Pkt: pkt})
+	var got Flit
+	for c := 1; c <= cfg.SerialDelay; c++ {
+		for _, f := range collect(l, int64(c)) {
+			got = f
+		}
+	}
+	want := cfg.SerialPJPerBit * float64(cfg.FlitBits)
+	if got.EnergyPJ != want || got.EnergyIfacePJ != want || got.EnergyOnChipPJ != 0 {
+		t.Fatalf("serial flit energy %.1f/%.1f/%.1f pJ, want %.1f on the interface bucket",
+			got.EnergyPJ, got.EnergyOnChipPJ, got.EnergyIfacePJ, want)
+	}
+
+	l2, _ := testLink(KindOnChip)
+	pkt2 := &Packet{ID: 2, Length: 1}
+	l2.Accept(0, Flit{Pkt: pkt2})
+	var got2 Flit
+	for _, f := range collect(l2, 1) {
+		got2 = f
+	}
+	want2 := cfg.OnChipPJPerBit * float64(cfg.FlitBits)
+	if got2.EnergyOnChipPJ != want2 || got2.EnergyIfacePJ != 0 {
+		t.Fatalf("on-chip energy breakdown wrong: %.2f/%.2f", got2.EnergyOnChipPJ, got2.EnergyIfacePJ)
+	}
+}
+
+func TestLinkBusy(t *testing.T) {
+	l, cfg := testLink(KindParallel)
+	if l.Busy() {
+		t.Fatal("fresh link busy")
+	}
+	pkt := &Packet{ID: 1, Length: 1}
+	l.Accept(0, Flit{Pkt: pkt})
+	if !l.Busy() {
+		t.Fatal("link with in-flight flit not busy")
+	}
+	for c := 1; c <= cfg.ParallelDelay; c++ {
+		collect(l, int64(c))
+	}
+	if l.Busy() {
+		t.Fatal("drained link still busy")
+	}
+}

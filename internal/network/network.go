@@ -1,0 +1,414 @@
+package network
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Network is a complete multi-chiplet interconnection system: routers,
+// links, a routing algorithm, per-node injection sources and the
+// synchronous cycle engine.
+//
+// Each cycle proceeds in three phases (see DESIGN.md):
+//  1. every busy link advances one stage, delivering flits into downstream
+//     input buffers and completing credit round trips;
+//  2. every busy router performs RC/VA/SA and pushes granted flits into
+//     link stage 0 (invisible downstream until the link delay elapses, so
+//     router iteration order is immaterial);
+//  3. injection sources feed the local ports.
+type Network struct {
+	Cfg     Config
+	Nodes   []*Router
+	Links   []*Link
+	Routing Routing
+	Rand    *rand.Rand
+
+	// Now is the current cycle.
+	Now int64
+
+	// Sink is invoked when a packet's tail flit is ejected. Statistics
+	// collectors hook in here.
+	Sink func(*Packet)
+
+	// Tracer, when non-nil, receives per-flit simulation events
+	// (injection, hops, ejection, allocation failures) for debugging.
+	Tracer Tracer
+
+	sources []source
+
+	nextPktID  uint64
+	flitsIn    int64 // flits injected into the network
+	flitsOut   int64 // flits ejected
+	pktsIn     int64
+	pktsOut    int64
+	moved      uint64 // flit movements this cycle (watchdog)
+	idleStreak int64
+
+	// DeadlockAt records the cycle at which the watchdog fired, or -1.
+	DeadlockAt int64
+
+	deliverFns []func(Flit)
+	creditFns  []func(VCID)
+
+	par        *parallelState
+	seqScratch workerScratch
+
+	// LivelockHopBound restricts a packet to the escape subnetwork once it
+	// has taken this many hops (0 = disabled). Minimal-path adaptive
+	// routing never comes close; the bound matters only when faults or
+	// stale distance heuristics would otherwise let a packet wander (the
+	// "time-out packets" rule of Sec. 5.3.2 applied to routing).
+	LivelockHopBound int
+
+	// GrantsByKind counts switch-allocation grants (flits) by output
+	// channel kind, a cheap utilization probe for diagnostics.
+	GrantsByKind [8]uint64
+	// VAFailures counts cycles an input VC held a routable head flit but
+	// could not obtain any output VC.
+	VAFailures uint64
+}
+
+// source is a per-node injection queue: packets wait here (unbounded — the
+// source-queueing delay is part of measured latency) until the injection
+// port accepts their flits.
+type source struct {
+	q      []*Packet
+	head   int
+	cur    *Packet
+	curSeq int32
+	curVC  VCID
+}
+
+// New creates an empty network with the given configuration. Topology
+// builders add nodes and links, then attach a routing algorithm.
+func New(cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Network{
+		Cfg:        cfg,
+		Rand:       rand.New(rand.NewSource(cfg.Seed)),
+		DeadlockAt: -1,
+	}, nil
+}
+
+// AddNodes creates n routers with local ports and their injection sources.
+func (net *Network) AddNodes(n int) {
+	for i := 0; i < n; i++ {
+		net.Nodes = append(net.Nodes, newRouter(&net.Cfg, NodeID(len(net.Nodes))))
+	}
+	net.sources = make([]source, len(net.Nodes))
+}
+
+// Connect wires a unidirectional link of the given kind from node a to node
+// b and returns it. Hetero-PHY adapters are attached by the caller
+// afterwards via SetAdapter.
+func (net *Network) Connect(kind LinkKind, a, b NodeID) *Link {
+	l := NewLink(&net.Cfg, len(net.Links), kind, a, 0, b, 0)
+	l.SrcPort = net.Nodes[a].AddOutPort(&net.Cfg, l)
+	l.DstPort = net.Nodes[b].AddInPort(&net.Cfg, l)
+	net.Links = append(net.Links, l)
+	return l
+}
+
+// SetAdapter attaches a hetero-PHY adapter to a link and reinitializes the
+// source router's credit view for the link's (unchanged) buffer depth.
+func (net *Network) SetAdapter(l *Link, a Adapter) { l.Adapter = a }
+
+// Finalize must be called after topology construction and before the first
+// Step: it pre-binds the per-link delivery closures.
+func (net *Network) Finalize() {
+	net.deliverFns = make([]func(Flit), len(net.Links))
+	net.creditFns = make([]func(VCID), len(net.Links))
+	for i, l := range net.Links {
+		dst := net.Nodes[l.Dst]
+		port := l.DstPort
+		net.deliverFns[i] = func(f Flit) {
+			dst.deliver(port, f)
+			net.moved++
+		}
+		out := net.Nodes[l.Src].Out[l.SrcPort]
+		net.creditFns[i] = func(vc VCID) { out.Credits[vc]++ }
+	}
+}
+
+// NewPacket allocates a packet with a fresh ID. The caller fills class and
+// priority, then Offers it.
+func (net *Network) NewPacket(src, dst NodeID, length int, createdAt int64) *Packet {
+	net.nextPktID++
+	return &Packet{
+		ID:        net.nextPktID,
+		Src:       src,
+		Dst:       dst,
+		Length:    length,
+		CreatedAt: createdAt,
+		ArrivedAt: -1,
+		Target:    -1,
+	}
+}
+
+// Offer appends a packet to its source node's injection queue. Packets must
+// be offered with nondecreasing CreatedAt per node.
+func (net *Network) Offer(p *Packet) {
+	if p.Src == p.Dst {
+		panic(fmt.Sprintf("network: packet %d offered with src == dst == %d", p.ID, p.Src))
+	}
+	s := &net.sources[p.Src]
+	s.q = append(s.q, p)
+}
+
+// Step advances the network by one cycle.
+func (net *Network) Step() {
+	if net.par != nil {
+		net.stepParallel()
+		return
+	}
+	net.moved = 0
+
+	// Phase 1: link arrivals and credit returns.
+	for i, l := range net.Links {
+		if !l.Busy() {
+			continue
+		}
+		l.Arrivals(net.Now, net.deliverFns[i])
+		l.CreditArrivals(net.creditFns[i])
+	}
+
+	// Phase 2: router pipelines.
+	sc := &net.seqScratch
+	ctx := tickContext{net: net, scratch: sc, tracer: net.Tracer}
+	for _, r := range net.Nodes {
+		r.tickCtx(&ctx)
+	}
+
+	// Phase 3: injection.
+	for n := range net.sources {
+		net.injectNode(n, sc)
+	}
+
+	net.mergeScratch(sc, net.Tracer != nil)
+	net.watchdog()
+	net.Now++
+}
+
+// mergeScratch folds per-phase accumulators into the network counters and
+// retires the packets whose tail flits were ejected this cycle.
+func (net *Network) mergeScratch(sc *workerScratch, traceEjects bool) {
+	net.moved += sc.moved
+	net.flitsIn += sc.flitsIn
+	net.flitsOut += sc.flitsOut
+	net.pktsIn += sc.pktsIn
+	net.pktsOut += sc.pktsOut
+	net.VAFailures += sc.vaFailures
+	for k := range sc.grantsByKind {
+		net.GrantsByKind[k] += sc.grantsByKind[k]
+	}
+	for _, pkt := range sc.finished {
+		pkt.ArrivedAt = net.Now
+		if traceEjects && net.Tracer != nil {
+			net.Tracer.Trace(Event{Cycle: net.Now, Kind: EvEject, Pkt: pkt.ID, Node: pkt.Dst})
+		}
+		if net.Sink != nil {
+			net.Sink(pkt)
+		}
+	}
+	*sc = workerScratch{finished: sc.finished[:0]}
+}
+
+// watchdog advances the deadlock detector after a cycle's movement count
+// is final.
+func (net *Network) watchdog() {
+	if net.Cfg.DeadlockThreshold <= 0 {
+		return
+	}
+	if net.flitsIn > net.flitsOut && net.moved == 0 {
+		net.idleStreak++
+		if net.idleStreak >= net.Cfg.DeadlockThreshold && net.DeadlockAt < 0 {
+			net.DeadlockAt = net.Now
+		}
+	} else {
+		net.idleStreak = 0
+	}
+}
+
+// injectNode moves flits from one node's source queue into its
+// injection-port buffers, accumulating counters into sc.
+func (net *Network) injectNode(n int, sc *workerScratch) {
+	{
+		s := &net.sources[n]
+		if s.cur == nil && s.head == len(s.q) {
+			return
+		}
+		r := net.Nodes[n]
+		in := r.In[r.InjectPort]
+		budget := net.Cfg.InjectionBandwidth
+		for budget > 0 {
+			if s.cur == nil {
+				if s.head == len(s.q) {
+					break
+				}
+				p := s.q[s.head]
+				if p.CreatedAt > net.Now {
+					break
+				}
+				// Pick the injection VC with the most free space, with the
+				// same class affinity as VC allocation (latency-sensitive
+				// high, throughput low) so control packets do not queue
+				// behind bulk transfers at the source.
+				best, bestFree := -1, 0
+				for v := range in.VCs {
+					f := in.VCs[v].Buf.Free()
+					if f == 0 {
+						continue
+					}
+					switch {
+					case best < 0:
+						best, bestFree = v, f
+					case p.Class == ClassLatencySensitive:
+						best, bestFree = v, f // highest eligible VC
+					case p.Class == ClassThroughput:
+						// keep the lowest eligible VC
+					case f > bestFree:
+						best, bestFree = v, f
+					}
+				}
+				if best < 0 {
+					break
+				}
+				s.q[s.head] = nil
+				s.head++
+				if s.head == len(s.q) {
+					s.q, s.head = s.q[:0], 0
+				}
+				s.cur, s.curSeq, s.curVC = p, 0, VCID(best)
+				p.InjectedAt = net.Now
+				sc.pktsIn++
+				if net.par == nil && net.Tracer != nil {
+					net.Tracer.Trace(Event{Cycle: net.Now, Kind: EvInject, Pkt: p.ID, Node: p.Src})
+				}
+			}
+			vc := &in.VCs[s.curVC]
+			for budget > 0 && s.curSeq < int32(s.cur.Length) && vc.Buf.Free() > 0 {
+				vc.Buf.Push(Flit{Pkt: s.cur, Seq: s.curSeq, VC: s.curVC})
+				r.buffered++
+				s.curSeq++
+				budget--
+				sc.flitsIn++
+				sc.moved++
+			}
+			if s.curSeq == int32(s.cur.Length) {
+				s.cur = nil
+				continue
+			}
+			break // buffer full or budget exhausted
+		}
+	}
+}
+
+// Run drives the network for the given number of cycles, invoking drive
+// (which may be nil) at the start of every cycle so traffic generators can
+// Offer packets. It returns a deadlock error if the watchdog fires.
+func (net *Network) Run(cycles int64, drive func(now int64)) error {
+	end := net.Now + cycles
+	for net.Now < end {
+		if drive != nil {
+			drive(net.Now)
+		}
+		net.Step()
+		if net.DeadlockAt >= 0 {
+			return fmt.Errorf("network: deadlock detected at cycle %d (%d flits stuck)", net.DeadlockAt, net.flitsIn-net.flitsOut)
+		}
+	}
+	return nil
+}
+
+// Drain runs without new traffic until every in-flight and queued packet is
+// delivered, up to cfg.DrainCycles additional cycles. It reports whether
+// the network fully drained.
+func (net *Network) Drain() (bool, error) {
+	deadline := net.Now + net.Cfg.DrainCycles
+	for net.Now < deadline {
+		if net.Quiescent() {
+			return true, nil
+		}
+		net.Step()
+		if net.DeadlockAt >= 0 {
+			return false, fmt.Errorf("network: deadlock detected at cycle %d while draining", net.DeadlockAt)
+		}
+	}
+	return net.Quiescent(), nil
+}
+
+// Quiescent reports whether no packets are queued or in flight.
+func (net *Network) Quiescent() bool {
+	if net.flitsIn > net.flitsOut {
+		return false
+	}
+	for i := range net.sources {
+		s := &net.sources[i]
+		if s.cur != nil || s.head < len(s.q) {
+			return false
+		}
+	}
+	return true
+}
+
+// InFlightFlits returns the number of flits inside the network.
+func (net *Network) InFlightFlits() int64 { return net.flitsIn - net.flitsOut }
+
+// PacketsInjected returns the number of packets whose injection started.
+func (net *Network) PacketsInjected() int64 { return net.pktsIn }
+
+// PacketsDelivered returns the number of packets fully ejected.
+func (net *Network) PacketsDelivered() int64 { return net.pktsOut }
+
+// QueuedPackets returns the number of packets waiting in source queues.
+func (net *Network) QueuedPackets() int {
+	total := 0
+	for i := range net.sources {
+		s := &net.sources[i]
+		total += len(s.q) - s.head
+		if s.cur != nil {
+			total++
+		}
+	}
+	return total
+}
+
+// CheckCredits verifies, for every plain (non-adapter) link, that
+// credits + credits-in-return + flits-in-pipe + flits-buffered equals the
+// downstream buffer depth for every VC. Tests call it; it is O(network).
+func (net *Network) CheckCredits() error {
+	for _, l := range net.Links {
+		if l.Adapter != nil {
+			continue
+		}
+		src := net.Nodes[l.Src].Out[l.SrcPort]
+		dstIn := net.Nodes[l.Dst].In[l.DstPort]
+		for v := range src.Credits {
+			inPipe := 0
+			for _, stage := range l.pipe {
+				for _, f := range stage {
+					if int(f.VC) == v {
+						inPipe++
+					}
+				}
+			}
+			returning := 0
+			for _, stage := range l.creditPipe {
+				for _, c := range stage {
+					if int(c) == v {
+						returning++
+					}
+				}
+			}
+			got := src.Credits[v] + returning + inPipe + dstIn.VCs[v].Buf.Len()
+			want := dstIn.VCs[v].Buf.Cap()
+			if got != want {
+				return fmt.Errorf("network: credit imbalance on link %d (%v %d->%d) vc %d: credits=%d returning=%d inPipe=%d buffered=%d, sum %d != depth %d",
+					l.ID, l.Kind, l.Src, l.Dst, v, src.Credits[v], returning, inPipe, dstIn.VCs[v].Buf.Len(), got, want)
+			}
+		}
+	}
+	return nil
+}

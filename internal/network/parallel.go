@@ -1,0 +1,150 @@
+package network
+
+import "sync"
+
+// Parallel stepping. The synchronous two-phase cycle model makes the
+// engine embarrassingly parallel *within* each phase once writes are
+// grouped by owner:
+//
+//   - link delivery writes only the destination router (group links by Dst);
+//   - credit completion writes only the source router (group links by Src);
+//   - a router tick writes its own state, the links it sources (Accept),
+//     the links it sinks (ReturnCredit) and the packets at its VC heads —
+//     all owned by exactly one router;
+//   - injection writes only the node's own source queue and buffers.
+//
+// Shared aggregates (movement counters, grant/VA statistics, finished
+// packets) are accumulated per worker and merged at the barrier, and the
+// Sink/Tracer callbacks run on the coordinating goroutine, so results are
+// bit-identical to sequential stepping regardless of worker count — see
+// TestParallelMatchesSequential.
+type parallelState struct {
+	workers int
+	wg      sync.WaitGroup
+
+	linksByDst [][]int // link indices grouped by destination-router shard
+	linksBySrc [][]int // link indices grouped by source-router shard
+	nodeShards [][]int // node indices per shard
+
+	scratch []workerScratch
+}
+
+type workerScratch struct {
+	moved        uint64
+	flitsIn      int64
+	flitsOut     int64
+	pktsIn       int64
+	pktsOut      int64
+	grantsByKind [8]uint64
+	vaFailures   uint64
+	finished     []*Packet
+
+	_pad [64]byte // avoid false sharing between workers
+}
+
+// SetWorkers enables parallel stepping across n goroutines (1 or 0
+// restores sequential mode). Call after Finalize. Results are identical to
+// sequential stepping; speedups appear on systems with thousands of nodes.
+func (net *Network) SetWorkers(n int) {
+	if n <= 1 {
+		net.par = nil
+		return
+	}
+	if net.Tracer != nil {
+		panic("network: parallel stepping does not support a Tracer (events would race); detach it first")
+	}
+	p := &parallelState{workers: n}
+	p.linksByDst = make([][]int, n)
+	p.linksBySrc = make([][]int, n)
+	p.nodeShards = make([][]int, n)
+	p.scratch = make([]workerScratch, n)
+	// Contiguous shard ranges: neighboring nodes share cache lines and most
+	// links stay within one worker's shard, which matters far more than
+	// perfect balance.
+	total := len(net.Nodes)
+	shardOf := func(node NodeID) int { return int(node) * n / total }
+	for i, l := range net.Links {
+		d := shardOf(l.Dst)
+		s := shardOf(l.Src)
+		p.linksByDst[d] = append(p.linksByDst[d], i)
+		p.linksBySrc[s] = append(p.linksBySrc[s], i)
+	}
+	for i := range net.Nodes {
+		sh := shardOf(NodeID(i))
+		p.nodeShards[sh] = append(p.nodeShards[sh], i)
+	}
+	net.par = p
+}
+
+// stepParallel is Step's parallel twin.
+func (net *Network) stepParallel() {
+	p := net.par
+	net.moved = 0
+
+	// Phase 1: link deliveries (sharded by destination router — they write
+	// that router's buffers) fused with credit completions (sharded by
+	// source router — they write that router's credit counters). The two
+	// halves touch disjoint Link fields (forward pipe vs credit pipe), so
+	// one barrier covers both.
+	p.run(func(w int) {
+		sc := &p.scratch[w]
+		for _, li := range p.linksByDst[w] {
+			l := net.Links[li]
+			if l.Adapter == nil && l.inFlight == 0 {
+				if l.accepted > 0 {
+					l.accepted = 0
+				}
+				continue
+			}
+			dst := net.Nodes[l.Dst]
+			port := l.DstPort
+			l.Arrivals(net.Now, func(f Flit) {
+				dst.deliver(port, f)
+				sc.moved++
+			})
+		}
+		for _, li := range p.linksBySrc[w] {
+			l := net.Links[li]
+			if l.creditsInFlight == 0 {
+				continue
+			}
+			out := net.Nodes[l.Src].Out[l.SrcPort]
+			l.CreditArrivals(func(vc VCID) { out.Credits[vc]++ })
+		}
+	})
+
+	// Phase 2: router pipelines fused with injection — both only write the
+	// shard's own routers, and injected flits are not observable elsewhere
+	// until the next cycle's link phase.
+	p.run(func(w int) {
+		sc := &p.scratch[w]
+		ctx := tickContext{net: net, scratch: sc}
+		for _, ni := range p.nodeShards[w] {
+			net.Nodes[ni].tickCtx(&ctx)
+		}
+		for _, ni := range p.nodeShards[w] {
+			net.injectNode(ni, sc)
+		}
+	})
+
+	// Merge scratch and run sinks in deterministic (shard) order.
+	for w := range p.scratch {
+		net.mergeScratch(&p.scratch[w], false)
+	}
+
+	net.watchdog()
+	net.Now++
+}
+
+// run executes fn(worker) on every worker and waits.
+func (p *parallelState) run(fn func(worker int)) {
+	p.wg.Add(p.workers - 1)
+	for w := 1; w < p.workers; w++ {
+		go func(w int) {
+			defer p.wg.Done()
+			fn(w)
+		}(w)
+	}
+	fn(0)
+	p.wg.Wait()
+}

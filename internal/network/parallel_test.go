@@ -1,0 +1,95 @@
+package network
+
+import "testing"
+
+// TestParallelMatchesSequential: the parallel stepper must be bit-identical
+// to sequential stepping — same deliveries, same latencies, same counters.
+func TestParallelMatchesSequential(t *testing.T) {
+	build := func(workers int) (*Network, map[uint64]int64) {
+		cfg := DefaultConfig()
+		cfg.CheckInvariants = true
+		net, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A ring of 12 nodes with mixed link kinds.
+		const n = 12
+		net.AddNodes(n)
+		for i := 0; i < n; i++ {
+			kind := KindOnChip
+			if i%3 == 1 {
+				kind = KindParallel
+			} else if i%3 == 2 {
+				kind = KindSerial
+			}
+			net.Connect(kind, NodeID(i), NodeID((i+1)%n))
+		}
+		net.Routing = ringRouting{}
+		net.Finalize()
+		if workers > 1 {
+			net.SetWorkers(workers)
+		}
+		arrivals := map[uint64]int64{}
+		net.Sink = func(p *Packet) { arrivals[p.ID] = p.ArrivedAt }
+		// Deterministic traffic: every node sends to (i+5)%n periodically.
+		drive := func(now int64) {
+			if now%7 != 0 || now > 600 {
+				return
+			}
+			for i := 0; i < n; i++ {
+				pkt := net.NewPacket(NodeID(i), NodeID((i+5)%n), 8, now)
+				net.Offer(pkt)
+			}
+		}
+		if err := net.Run(1500, drive); err != nil {
+			t.Fatal(err)
+		}
+		return net, arrivals
+	}
+
+	seqNet, seqArr := build(1)
+	parNet, parArr := build(4)
+
+	if len(seqArr) == 0 {
+		t.Fatal("no traffic delivered")
+	}
+	if len(seqArr) != len(parArr) {
+		t.Fatalf("deliveries differ: %d sequential vs %d parallel", len(seqArr), len(parArr))
+	}
+	for id, at := range seqArr {
+		if parArr[id] != at {
+			t.Fatalf("packet %d arrived at %d sequentially but %d in parallel", id, at, parArr[id])
+		}
+	}
+	if seqNet.PacketsDelivered() != parNet.PacketsDelivered() ||
+		seqNet.InFlightFlits() != parNet.InFlightFlits() {
+		t.Fatal("network counters diverge between modes")
+	}
+	if err := parNet.CheckCredits(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ringRouting forwards clockwise around the ring.
+type ringRouting struct{}
+
+func (ringRouting) Name() string { return "ring" }
+func (ringRouting) Route(net *Network, r *Router, _ int, pkt *Packet, buf []Candidate) []Candidate {
+	for i := 1; i < len(r.Out); i++ {
+		if r.Out[i].Link != nil {
+			return append(buf, Candidate{Port: i, VCMask: allVCs(net.Cfg.VCs), Escape: true})
+		}
+	}
+	panic("ring: no out port")
+}
+
+func TestSetWorkersRejectsTracer(t *testing.T) {
+	net, _ := twoNodeNet(t, KindOnChip, nil)
+	net.Tracer = &CollectorTracer{}
+	defer func() {
+		if recover() == nil {
+			t.Error("SetWorkers accepted a tracer")
+		}
+	}()
+	net.SetWorkers(4)
+}

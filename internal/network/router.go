@@ -1,0 +1,447 @@
+package network
+
+import "fmt"
+
+// Candidate is one output channel option produced by a routing function:
+// an output port plus the set of virtual channels the packet may request on
+// it. Escape marks channels belonging to the baseline deadlock-free
+// subnetwork C0 (Algorithm 1, line 5): they are always safe to take, while
+// non-escape (adaptive) channels are preferred shortcuts.
+type Candidate struct {
+	Port   int
+	VCMask uint16
+	Escape bool
+}
+
+// Routing computes candidate output channels for a packet whose head flit
+// sits at router r, having arrived through input port inPort (the injection
+// port for freshly injected packets). Implementations append to buf and
+// return it, to avoid per-call allocation. Candidates must be ordered by
+// preference; the router picks the first allocatable one. Routing functions
+// must guarantee that at least one escape candidate is connected toward the
+// destination (Lemma 1).
+type Routing interface {
+	Route(net *Network, r *Router, inPort int, pkt *Packet, buf []Candidate) []Candidate
+	Name() string
+}
+
+// VCState is one virtual-channel input buffer and its allocation state.
+type VCState struct {
+	Buf *FlitQueue
+
+	// Active is true while the packet at the front of Buf holds an output
+	// VC; OutPort/OutVC identify it. The allocation is released when the
+	// packet's tail flit traverses the switch.
+	Active  bool
+	OutPort int
+	OutVC   VCID
+}
+
+// InPort is a router input: the upstream link (nil for the injection port)
+// and one buffer per VC.
+type InPort struct {
+	Link *Link
+	Kind LinkKind
+	// DrainBudget bounds how many flits this input may push through the
+	// crossbar per cycle (the upstream channel bandwidth).
+	DrainBudget int
+	// Interface marks die-to-die inputs: the heterogeneous router's
+	// multi-port input buffer may drain several VCs of such a port in one
+	// cycle (Sec. 4.1); regular inputs drain one VC per cycle.
+	Interface bool
+	VCs       []VCState
+}
+
+// OutPort is a router output: the downstream link (nil for the ejection
+// port), per-VC credit counters and output-VC allocation state.
+type OutPort struct {
+	Link *Link
+	Kind LinkKind
+	// Depth is the per-VC downstream buffer depth.
+	Depth int
+	// Credits tracks free buffer slots per downstream VC.
+	Credits []int
+	// Held marks output VCs currently allocated to an in-flight packet.
+	Held []bool
+	// Interface marks die-to-die outputs: the higher-radix crossbar lets
+	// several input VCs feed such an output concurrently (Sec. 4.1);
+	// regular outputs accept one input VC per cycle.
+	Interface bool
+}
+
+// Router is a canonical virtual-channel router (Sec. 7.1), extended at
+// interface ports with the paper's heterogeneous-router microarchitecture.
+type Router struct {
+	ID  NodeID
+	In  []*InPort
+	Out []*OutPort
+
+	// InjectPort and EjectPort index the local ports in In and Out.
+	InjectPort int
+	EjectPort  int
+
+	buffered  int // total flits across all input VC buffers (activity)
+	activeVCs int // input VCs holding an output allocation
+	rr        int // round-robin arbitration pointer
+
+	// flat maps a flattened arbitration slot to its (input port, VC).
+	flat []portVC
+
+	// scratch buffers reused across cycles
+	cands    []Candidate
+	outSlots []int
+	outVCs   []int // input VCs granted per output this cycle
+	inUsed   []int // flits drained per input this cycle
+	inVCs    []int // VCs granted per input this cycle
+}
+
+// portVC is one flattened arbitration slot.
+type portVC struct{ port, vc int32 }
+
+// newRouter constructs a router with only local ports; topology builders add
+// link ports via AddInPort/AddOutPort.
+func newRouter(cfg *Config, id NodeID) *Router {
+	r := &Router{ID: id, InjectPort: 0, EjectPort: 0}
+	// Injection input port.
+	inj := &InPort{Kind: KindLocal, DrainBudget: cfg.InjectionBandwidth}
+	inj.VCs = make([]VCState, cfg.VCs)
+	for i := range inj.VCs {
+		inj.VCs[i].Buf = NewFlitQueue(cfg.BufPerVC(KindLocal))
+	}
+	r.In = append(r.In, inj)
+	// Ejection output port: no link, no credits needed beyond rate limit.
+	ej := &OutPort{Kind: KindLocal, Interface: true}
+	r.Out = append(r.Out, ej)
+	return r
+}
+
+// AddInPort attaches the sink side of a link and returns the new input-port
+// index.
+func (r *Router) AddInPort(cfg *Config, l *Link) int {
+	p := &InPort{
+		Link:        l,
+		Kind:        l.Kind,
+		DrainBudget: l.Bandwidth,
+		Interface:   l.Kind != KindOnChip,
+	}
+	p.VCs = make([]VCState, cfg.VCs)
+	depth := cfg.BufPerVC(l.Kind)
+	for i := range p.VCs {
+		p.VCs[i].Buf = NewFlitQueue(depth)
+	}
+	r.In = append(r.In, p)
+	return len(r.In) - 1
+}
+
+// AddOutPort attaches the source side of a link and returns the new
+// output-port index.
+func (r *Router) AddOutPort(cfg *Config, l *Link) int {
+	p := &OutPort{
+		Link:      l,
+		Kind:      l.Kind,
+		Interface: l.Kind != KindOnChip,
+	}
+	depth := cfg.BufPerVC(l.Kind)
+	p.Depth = depth
+	p.Credits = make([]int, cfg.VCs)
+	p.Held = make([]bool, cfg.VCs)
+	for i := range p.Credits {
+		p.Credits[i] = depth
+	}
+	r.Out = append(r.Out, p)
+	return len(r.Out) - 1
+}
+
+// deliver buffers a flit arriving from the input link at port/VC.
+func (r *Router) deliver(inPort int, f Flit) {
+	vc := &r.In[inPort].VCs[f.VC]
+	if !vc.Buf.Push(f) {
+		panic(fmt.Sprintf("network: input buffer overflow at node %d port %d vc %d (credit protocol violated)", r.ID, inPort, f.VC))
+	}
+	r.buffered++
+}
+
+// tickContext carries the per-worker accumulation state of one router
+// tick, so sequential and parallel stepping share one code path.
+type tickContext struct {
+	net     *Network
+	scratch *workerScratch
+	tracer  Tracer
+}
+
+// tickCtx performs RC, VA and SA for one cycle (Sec. 7.1: all three
+// complete in a single cycle at zero load).
+func (r *Router) tickCtx(ctx *tickContext) {
+	if r.buffered == 0 {
+		return
+	}
+
+	// --- Stage 1+2: routing computation and VC allocation for every input
+	// VC whose front flit is a head without an output allocation.
+	for ip, in := range r.In {
+		for v := range in.VCs {
+			vc := &in.VCs[v]
+			if vc.Active || vc.Buf.Empty() {
+				continue
+			}
+			head := vc.Buf.Front()
+			if !head.IsHead() {
+				panic(fmt.Sprintf("network: node %d port %d vc %d: non-head flit (pkt %d seq %d) at front of idle VC", r.ID, ip, v, head.Pkt.ID, head.Seq))
+			}
+			r.allocate(ctx, ip, v, vc, head.Pkt)
+		}
+	}
+
+	// --- Stage 3: switch allocation with per-port budgets.
+	r.switchAlloc(ctx)
+}
+
+// allocate runs RC+VA for the packet at the front of vc.
+func (r *Router) allocate(ctx *tickContext, inPort, inVC int, vc *VCState, pkt *Packet) {
+	net := ctx.net
+	if net.LivelockHopBound > 0 && !pkt.Restricted && pkt.Hops() > net.LivelockHopBound {
+		pkt.Restricted = true
+	}
+	var cands []Candidate
+	if pkt.Dst == r.ID {
+		cands = append(r.cands[:0], Candidate{Port: r.EjectPort, VCMask: 1, Escape: true})
+	} else {
+		cands = net.Routing.Route(net, r, inPort, pkt, r.cands[:0])
+		if len(cands) == 0 {
+			panic(fmt.Sprintf("network: routing %q returned no candidates at node %d for packet %d -> %d", net.Routing.Name(), r.ID, pkt.ID, pkt.Dst))
+		}
+	}
+	r.cands = cands[:0] // keep capacity
+
+	sawAdaptive := false
+	adaptivePorts := uint64(0)
+	for _, c := range cands {
+		if !c.Escape && c.Port < 64 {
+			adaptivePorts |= 1 << c.Port
+		}
+	}
+	for _, c := range cands {
+		out := r.Out[c.Port]
+		if out.Link == nil {
+			// Ejection: always allocatable; rate-limited in SA.
+			vc.Active, vc.OutPort, vc.OutVC = true, c.Port, 0
+			r.activeVCs++
+			return
+		}
+		if !c.Escape {
+			sawAdaptive = true
+		}
+		// Pick the allowed free output VC with the most credits. Admission
+		// is virtual cut-through: the downstream buffer must have room for
+		// the whole packet, which (with buffers ≥ packet length, as in all
+		// Table 2 configurations) makes the escape-channel constructions
+		// of the routing algorithms deadlock-free without indirect-
+		// dependency caveats.
+		need := min(pkt.Length, out.Depth)
+		if net.Cfg.WormholeAdmission {
+			need = 1
+		}
+		best, bestCred := -1, need-1
+		for ov := 0; ov < len(out.Credits); ov++ {
+			if c.VCMask&(1<<ov) == 0 || out.Held[ov] {
+				continue
+			}
+			cr := out.Credits[ov]
+			if cr < need {
+				continue
+			}
+			if best < 0 {
+				best, bestCred = ov, cr
+				continue
+			}
+			// Class-based VC affinity: latency-sensitive packets prefer
+			// the highest eligible VC, bulk throughput the lowest, so the
+			// two classes avoid sharing a VC (per-VC delivery order would
+			// otherwise couple control latency to bulk transfers at
+			// heterogeneous interfaces). Other classes take the VC with
+			// the most credits.
+			switch pkt.Class {
+			case ClassLatencySensitive:
+				best, bestCred = ov, cr // keep scanning upward
+			case ClassThroughput:
+				// keep the first (lowest) eligible VC
+			default:
+				if cr > bestCred {
+					best, bestCred = ov, cr
+				}
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		if c.Escape && sawAdaptive && (c.Port >= 64 || adaptivePorts&(1<<c.Port) == 0) {
+			// Livelock channel-switch restriction (Sec. 6.2): the packet
+			// fell back to the escape subnetwork because the adaptive
+			// channels on its minimal paths were congested; from now on it
+			// may only use adaptive channels consistent with the baseline
+			// routing function. Taking the escape VC of a port that is
+			// itself an adaptive candidate is not a fallback — the physical
+			// direction stays adaptive-consistent — so it does not restrict
+			// the packet.
+			pkt.Restricted = true
+		}
+		out.Held[best] = true
+		vc.Active, vc.OutPort, vc.OutVC = true, c.Port, VCID(best)
+		r.activeVCs++
+		return
+	}
+	// Nothing allocatable this cycle; retry next cycle.
+	ctx.scratch.vaFailures++
+	if ctx.tracer != nil {
+		ctx.tracer.Trace(Event{Cycle: net.Now, Kind: EvVAFail, Pkt: pkt.ID, Node: r.ID})
+	}
+}
+
+// switchAlloc grants crossbar passage to active input VCs, respecting link
+// accept rates, credits, per-input drain budgets and the regular-vs-
+// heterogeneous crossbar constraints.
+func (r *Router) switchAlloc(ctx *tickContext) {
+	if r.activeVCs == 0 {
+		return
+	}
+	net := ctx.net
+	nOut, nIn := len(r.Out), len(r.In)
+	if cap(r.outSlots) < nOut {
+		r.outSlots = make([]int, nOut)
+		r.outVCs = make([]int, nOut)
+	}
+	if cap(r.inUsed) < nIn {
+		r.inUsed = make([]int, nIn)
+		r.inVCs = make([]int, nIn)
+	}
+	outSlots, outVCs := r.outSlots[:nOut], r.outVCs[:nOut]
+	inUsed, inVCs := r.inUsed[:nIn], r.inVCs[:nIn]
+	for i, out := range r.Out {
+		if out.Link != nil {
+			outSlots[i] = out.Link.FreeSlots()
+		} else {
+			outSlots[i] = net.Cfg.EjectionBandwidth
+		}
+		outVCs[i] = 0
+	}
+	for i := range inUsed {
+		inUsed[i] = 0
+		inVCs[i] = 0
+	}
+
+	// Flattened round-robin over (input port, VC).
+	if r.flat == nil {
+		for ip, in := range r.In {
+			for v := range in.VCs {
+				r.flat = append(r.flat, portVC{int32(ip), int32(v)})
+			}
+		}
+	}
+	total := len(r.flat)
+	start := r.rr % total
+	r.rr = (r.rr + 1) % total
+
+	// Iterate starting from the round-robin pointer.
+	for off := 0; off < total; off++ {
+		slot := (start + off) % total
+		ip, v := int(r.flat[slot].port), int(r.flat[slot].vc)
+		in := r.In[ip]
+		vc := &in.VCs[v]
+		if !vc.Active || vc.Buf.Empty() {
+			continue
+		}
+		if inUsed[ip] >= in.DrainBudget {
+			continue
+		}
+		if !in.Interface && inVCs[ip] >= 1 {
+			continue // regular crossbar: one VC per input port per cycle
+		}
+		op := vc.OutPort
+		out := r.Out[op]
+		if outSlots[op] <= 0 {
+			continue
+		}
+		if !out.Interface && outVCs[op] >= 1 {
+			continue // regular crossbar: one input VC per output per cycle
+		}
+		budget := min(outSlots[op], in.DrainBudget-inUsed[ip])
+		if out.Link != nil {
+			budget = min(budget, out.Credits[vc.OutVC])
+		}
+		if budget <= 0 {
+			continue
+		}
+		pkt := vc.Buf.Front().Pkt
+		sent := 0
+		for sent < budget && !vc.Buf.Empty() && vc.Buf.Front().Pkt == pkt {
+			f := vc.Buf.Pop()
+			r.buffered--
+			sent++
+			r.forward(ctx, in, vc, out, VCID(v), f)
+			if f.IsTail() {
+				// Release the output VC and the input VC allocation.
+				if out.Link != nil {
+					out.Held[vc.OutVC] = false
+				}
+				vc.Active = false
+				r.activeVCs--
+				break
+			}
+		}
+		if sent > 0 {
+			outSlots[op] -= sent
+			outVCs[op]++
+			inUsed[ip] += sent
+			inVCs[ip]++
+			ctx.scratch.moved += uint64(sent)
+		}
+	}
+}
+
+// forward moves one granted flit from an input VC to its output.
+func (r *Router) forward(ctx *tickContext, in *InPort, vc *VCState, out *OutPort, inVC VCID, f Flit) {
+	net := ctx.net
+	pkt := f.Pkt
+	f.EnergyPJ += net.Cfg.RouterPJPerFlit
+	f.EnergyOnChipPJ += net.Cfg.RouterPJPerFlit
+	// Return a credit to the upstream router.
+	if in.Link != nil {
+		in.Link.ReturnCredit(inVC)
+	}
+	if out.Link == nil {
+		// Ejection: fold the flit's accumulated energy into the packet
+		// (the destination router is the packet's single writer here).
+		pkt.EnergyPJ += f.EnergyPJ
+		pkt.EnergyOnChipPJ += f.EnergyOnChipPJ
+		pkt.EnergyIfacePJ += f.EnergyIfacePJ
+		ctx.scratch.grantsByKind[KindLocal]++
+		if f.IsTail() {
+			ctx.scratch.flitsOut += int64(pkt.Length)
+			ctx.scratch.pktsOut++
+			ctx.scratch.finished = append(ctx.scratch.finished, pkt)
+		}
+		return
+	}
+	if f.IsHead() {
+		if ctx.tracer != nil {
+			ctx.tracer.Trace(Event{Cycle: net.Now, Kind: EvHop, Pkt: pkt.ID, Node: r.ID, Port: vc.OutPort, VC: vc.OutVC, Kind2: out.Kind})
+		}
+		switch out.Kind {
+		case KindOnChip:
+			pkt.HopsOnChip++
+		case KindParallel:
+			pkt.HopsParallel++
+		case KindSerial:
+			pkt.HopsSerial++
+		case KindHeteroPHY:
+			pkt.HopsHetero++
+		}
+	}
+	ctx.scratch.grantsByKind[out.Kind]++
+	out.Credits[vc.OutVC]--
+	if net.Cfg.CheckInvariants && out.Credits[vc.OutVC] < 0 {
+		panic("network: negative credits (switch allocation over-granted)")
+	}
+	f.VC = vc.OutVC
+	out.Link.Accept(net.Now, f)
+}

@@ -1,0 +1,117 @@
+// Package phymodel contains the paper's analytical interface models: the
+// Table 1 specification constants, the reorder-buffer capacity estimate
+// (Eq. 1), the bandwidth-latency V–t model (Eq. 2, Fig. 8) and the
+// weighted path length cost model (Eq. 3/4, Sec. 5.2).
+package phymodel
+
+import "fmt"
+
+// Spec describes one die-to-die interface technology (Table 1).
+type Spec struct {
+	Name string
+	// DataRateGbps is the per-lane data rate.
+	DataRateGbps float64
+	// LatencyNS is the PHY latency in nanoseconds (excluding digital
+	// latency and FEC where the paper lists them separately).
+	LatencyNS float64
+	// PJPerBit is the transmission energy.
+	PJPerBit float64
+	// ReachMM is the maximum trace length.
+	ReachMM float64
+}
+
+// Table1 returns the four interface technologies of Table 1.
+func Table1() []Spec {
+	return []Spec{
+		{Name: "SerDes", DataRateGbps: 112, LatencyNS: 5.5, PJPerBit: 2.0, ReachMM: 50},
+		{Name: "AIB", DataRateGbps: 6.4, LatencyNS: 3.5, PJPerBit: 0.5, ReachMM: 10},
+		{Name: "BoW", DataRateGbps: 32, LatencyNS: 3.0, PJPerBit: 0.7, ReachMM: 50},
+		{Name: "UCIe", DataRateGbps: 32, LatencyNS: 2.0, PJPerBit: 0.3, ReachMM: 2},
+	}
+}
+
+// ROBCapacity is Eq. 1: the reorder buffer needs at most
+// S_rob = B_p × (D_s − D_p) flits, where B_p is the parallel-interface
+// bandwidth (flits/cycle) and D_s/D_p the serial/parallel delays (cycles).
+func ROBCapacity(parallelBW, serialDelay, parallelDelay int) int {
+	if serialDelay <= parallelDelay {
+		return 0
+	}
+	return parallelBW * (serialDelay - parallelDelay)
+}
+
+// Interface is an abstract interface for the V–t model: bandwidth in
+// flits/cycle (or any consistent unit) and total delay in cycles.
+type Interface struct {
+	Name      string
+	Bandwidth float64
+	Delay     float64
+}
+
+// V is Eq. 2: the data volume received, restored and kept in the receiver
+// adapter buffer by time t, V(t) = R(B·(t−D)) with R(x) = max(x, 0).
+func (i Interface) V(t float64) float64 {
+	v := i.Bandwidth * (t - i.Delay)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// HeteroIF is a heterogeneous interface bonding two uniform interfaces;
+// its V–t curve is the sum of the two (Sec. 5.1: "if we add the V–t curves
+// of the two interfaces, the resulting folds have very good properties").
+type HeteroIF struct {
+	Parallel Interface
+	Serial   Interface
+}
+
+// V returns the combined received volume at time t.
+func (h HeteroIF) V(t float64) float64 { return h.Parallel.V(t) + h.Serial.V(t) }
+
+// CrossoverTime returns the time at which interface b's received volume
+// overtakes a's, or -1 if it never does (for t ≥ 0). Both curves are
+// piecewise linear with a single knee, so the crossover (if any) is where
+// b's line passes a's: Ba(t−Da) = Bb(t−Db).
+func CrossoverTime(a, b Interface) float64 {
+	if b.Bandwidth <= a.Bandwidth {
+		return -1
+	}
+	t := (b.Bandwidth*b.Delay - a.Bandwidth*a.Delay) / (b.Bandwidth - a.Bandwidth)
+	if t < a.Delay {
+		t = b.Delay // b starts after a never transmitted anything
+	}
+	return t
+}
+
+// HopCost is Eq. 3: C_i = α·D_i + β/B_i + γ·E_i for one hop with latency
+// D (cycles), bandwidth B (flits/cycle) and energy E (pJ/flit).
+type HopCost struct {
+	Alpha, Beta, Gamma float64
+}
+
+// Cost evaluates Eq. 3 for one hop.
+func (h HopCost) Cost(delay, bandwidth, energy float64) float64 {
+	if bandwidth <= 0 {
+		panic(fmt.Sprintf("phymodel: non-positive bandwidth %v in hop cost", bandwidth))
+	}
+	return h.Alpha*delay + h.Beta/bandwidth + h.Gamma*energy
+}
+
+// PathLength is Eq. 4: L_p = Σ C_i over the hops of a path. Each hop is a
+// (delay, bandwidth, energy) triple.
+func (h HopCost) PathLength(hops [][3]float64) float64 {
+	total := 0.0
+	for _, hop := range hops {
+		total += h.Cost(hop[0], hop[1], hop[2])
+	}
+	return total
+}
+
+// PerformanceFirstWeights returns Eq. 3 coefficients for the
+// performance-first policy (γ = 0, Sec. 5.3.1).
+func PerformanceFirstWeights() HopCost { return HopCost{Alpha: 1, Beta: 1, Gamma: 0} }
+
+// EnergyEfficientWeights returns Eq. 3 coefficients with a large energy
+// weight (Sec. 5.3.1).
+func EnergyEfficientWeights() HopCost { return HopCost{Alpha: 1, Beta: 1, Gamma: 10} }

@@ -1,0 +1,143 @@
+package phymodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTable1Values(t *testing.T) {
+	specs := Table1()
+	if len(specs) != 4 {
+		t.Fatalf("Table 1 has %d interfaces, want 4", len(specs))
+	}
+	byName := map[string]Spec{}
+	for _, s := range specs {
+		byName[s.Name] = s
+	}
+	serdes, aib := byName["SerDes"], byName["AIB"]
+	if serdes.DataRateGbps != 112 || serdes.PJPerBit != 2.0 || serdes.ReachMM != 50 {
+		t.Errorf("SerDes spec wrong: %+v", serdes)
+	}
+	if aib.DataRateGbps != 6.4 || aib.PJPerBit != 0.5 || aib.ReachMM != 10 {
+		t.Errorf("AIB spec wrong: %+v", aib)
+	}
+	// The defining trade-off: serial is fastest and farthest but most
+	// power-hungry; parallel is low-power, low-latency, short-reach.
+	if !(serdes.DataRateGbps > aib.DataRateGbps && serdes.PJPerBit > aib.PJPerBit &&
+		serdes.ReachMM > aib.ReachMM && serdes.LatencyNS > aib.LatencyNS) {
+		t.Error("SerDes/AIB trade-off violated")
+	}
+}
+
+func TestROBCapacityEq1(t *testing.T) {
+	// Table 2 values: B_p = 2, D_s = 20, D_p = 5 → 30 flits.
+	if got := ROBCapacity(2, 20, 5); got != 30 {
+		t.Errorf("Eq.1 = %d, want 30", got)
+	}
+	// Halved: B_p = 1 → 15.
+	if got := ROBCapacity(1, 20, 5); got != 15 {
+		t.Errorf("Eq.1 halved = %d, want 15", got)
+	}
+	// Degenerate: serial faster than parallel → no reordering.
+	if got := ROBCapacity(2, 5, 20); got != 0 {
+		t.Errorf("Eq.1 degenerate = %d, want 0", got)
+	}
+}
+
+func TestVTCurveEq2(t *testing.T) {
+	serial := Interface{Bandwidth: 4, Delay: 20}
+	if serial.V(10) != 0 {
+		t.Error("V before the delay must be 0 (R clamps)")
+	}
+	if got := serial.V(25); got != 20 {
+		t.Errorf("V(25) = %.1f, want 4×5 = 20", got)
+	}
+}
+
+func TestHeteroVTDominates(t *testing.T) {
+	p := Interface{Bandwidth: 2, Delay: 5}
+	s := Interface{Bandwidth: 4, Delay: 20}
+	h := HeteroIF{Parallel: p, Serial: s}
+	f := func(tRaw uint8) bool {
+		tt := float64(tRaw) // 0..255 cycles
+		// Fig. 8(a): the hetero curve dominates both uniform curves.
+		return h.V(tt) >= p.V(tt) && h.V(tt) >= s.V(tt) &&
+			math.Abs(h.V(tt)-(p.V(tt)+s.V(tt))) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 256}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVTMonotone(t *testing.T) {
+	f := func(b, d uint8, t1, t2 uint8) bool {
+		i := Interface{Bandwidth: float64(b%16) + 1, Delay: float64(d % 64)}
+		lo, hi := float64(t1), float64(t2)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return i.V(lo) <= i.V(hi) && i.V(lo) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossoverTime(t *testing.T) {
+	p := Interface{Bandwidth: 2, Delay: 5}
+	s := Interface{Bandwidth: 4, Delay: 20}
+	x := CrossoverTime(p, s)
+	if x < 5 {
+		t.Fatalf("crossover %.1f before parallel starts", x)
+	}
+	// At the crossover both carry the same volume.
+	if math.Abs(p.V(x)-s.V(x)) > 1e-9 {
+		t.Fatalf("curves differ at crossover: %.2f vs %.2f", p.V(x), s.V(x))
+	}
+	// A slower interface never overtakes.
+	if CrossoverTime(s, p) != -1 {
+		t.Error("parallel should never overtake serial in slope")
+	}
+}
+
+func TestHopCostEq3(t *testing.T) {
+	h := HopCost{Alpha: 1, Beta: 2, Gamma: 0.5}
+	// C = 1·10 + 2/4 + 0.5·100 = 60.5
+	if got := h.Cost(10, 4, 100); math.Abs(got-60.5) > 1e-9 {
+		t.Errorf("Eq.3 = %v, want 60.5", got)
+	}
+	// Performance-first zeroes γ.
+	pf := PerformanceFirstWeights()
+	if pf.Gamma != 0 {
+		t.Error("performance-first weights must have γ = 0 (Sec. 5.3.1)")
+	}
+	if EnergyEfficientWeights().Gamma <= pf.Gamma {
+		t.Error("energy-efficient weights must emphasize energy")
+	}
+}
+
+func TestPathLengthEq4(t *testing.T) {
+	h := HopCost{Alpha: 1, Beta: 1, Gamma: 1}
+	hops := [][3]float64{
+		{1, 2, 0.1},  // on-chip hop
+		{5, 2, 64},   // parallel hop
+		{20, 4, 154}, // serial hop
+	}
+	want := (1 + 0.5 + 0.1) + (5 + 0.5 + 64) + (20 + 0.25 + 154)
+	if got := h.PathLength(hops); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Eq.4 = %v, want %v", got, want)
+	}
+	if h.PathLength(nil) != 0 {
+		t.Error("empty path must have zero length")
+	}
+}
+
+func TestHopCostPanicsOnZeroBandwidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero bandwidth accepted")
+		}
+	}()
+	HopCost{Beta: 1}.Cost(1, 0, 1)
+}

@@ -1,0 +1,205 @@
+package routing
+
+import (
+	"math/bits"
+
+	"heteroif/internal/network"
+	"heteroif/internal/topology"
+)
+
+// chooseCubeTarget picks the intra-chiplet waypoint for a packet that must
+// leave chiplet cc toward chiplet dc: the interface node owning the cube
+// link of the chosen dimension. Minus dimensions (bit 1→0) are corrected
+// before plus dimensions (minus-first, the hypercube analogue of
+// negative-first [30]); within the allowed phase the nearest interface node
+// wins, lowest dimension breaking ties.
+func chooseCubeTarget(t *topology.Topo, cur network.NodeID, cc, dc int) network.NodeID {
+	set := phaseDims(cc, dc)
+	best := network.NodeID(-1)
+	bestDist := int(^uint(0) >> 1)
+	for s := set; s != 0; s &= s - 1 {
+		dim := bits.TrailingZeros64(uint64(s & -s))
+		for _, n := range t.CubeLinkNodes(cc, dim) {
+			if cubePortDead(t, n, dim) {
+				continue
+			}
+			if d := t.MeshDistance(cur, n); d < bestDist {
+				best, bestDist = n, d
+			}
+		}
+	}
+	return best
+}
+
+// phaseDims returns the cube dimensions correctable in the current phase:
+// the minus dimensions (bits going 1→0) while any remain, then the plus
+// dimensions.
+func phaseDims(cc, dc int) int {
+	diff := cc ^ dc
+	if minus := diff & cc; minus != 0 {
+		return minus
+	}
+	return diff
+}
+
+// ensureTarget refreshes pkt.Target when the packet has entered a new
+// chiplet (or was just injected).
+func ensureTarget(t *topology.Topo, r *network.Router, pkt *network.Packet) network.NodeID {
+	cc := t.ChipletID(r.ID)
+	if pkt.Target >= 0 && t.ChipletID(pkt.Target) == cc {
+		return pkt.Target
+	}
+	dc := t.ChipletID(pkt.Dst)
+	pkt.Target = chooseCubeTarget(t, r.ID, cc, dc)
+	return pkt.Target
+}
+
+// neededDims returns the bitset of cube dimensions still differing between
+// the chiplets of two nodes.
+func neededDims(t *topology.Topo, a, b network.NodeID) int {
+	return t.ChipletID(a) ^ t.ChipletID(b)
+}
+
+// onChipToward emits intra-chiplet candidates steering toward a waypoint:
+// adaptive minimal moves on VC≥1 and negative-first escape moves on VC0.
+// The escape VC0 emission can be disabled when the caller provides its own
+// escape set.
+func onChipToward(t *topology.Topo, vcs int, r *network.Router, target network.NodeID, restricted bool, emitEscape bool, buf []network.Candidate) []network.Candidate {
+	ax, ay := t.Coord(r.ID)
+	bx, by := t.Coord(target)
+	adapt := adaptiveMask(vcs)
+	ports := t.OutPorts[r.ID]
+	if adapt != 0 {
+		for i := 1; i < len(ports); i++ {
+			p := &ports[i]
+			if p.Dead || p.Wrap || p.CubeDim >= 0 || p.Kind != network.KindOnChip {
+				continue
+			}
+			px, py := t.Coord(p.Dest)
+			minimal, negOK := meshStep(ax, ay, px, py, bx, by)
+			if !minimal || (restricted && !negOK) {
+				continue
+			}
+			buf = append(buf, network.Candidate{Port: i, VCMask: adapt})
+		}
+	}
+	if emitEscape {
+		for i := 1; i < len(ports); i++ {
+			p := &ports[i]
+			if p.Dead || p.Wrap || p.CubeDim >= 0 || p.Kind != network.KindOnChip {
+				continue
+			}
+			px, py := t.Coord(p.Dest)
+			if _, negOK := meshStep(ax, ay, px, py, bx, by); negOK {
+				buf = append(buf, network.Candidate{Port: i, VCMask: 1, Escape: true})
+			}
+		}
+	}
+	return buf
+}
+
+// Hypercube is minus-first routing for the uniform-serial hypercube
+// system, reproducing the interconnection method of Feng et al. [30].
+//
+// Deadlock freedom uses phase-partitioned virtual-channel classes, because
+// a single escape class is NOT safe here: on-chip buffers shared by
+// packets in different cube phases would couple minus and plus cube
+// channels into buffer-wait cycles (the modular-routing deadlock of
+// chiplet systems). Instead:
+//
+//   - class 0 (VC0 of on-chip and serial channels) carries packets that
+//     still have minus dimensions (chiplet-address bits going 1→0) to
+//     correct. Every class-0 cube dependency strictly decreases the
+//     chiplet address — regardless of which packet carries it — and the
+//     on-chip class-0 usage is negative-first toward a per-chiplet-fixed
+//     waypoint, so the class-0 dependency graph is acyclic.
+//   - class 1 (VC1) carries plus-phase packets and the final intra-chiplet
+//     spread. Plus cube hops strictly increase the chiplet address:
+//     acyclic by the mirrored argument.
+//   - packets move from class 0 to class 1 exactly once (minus before
+//     plus; cube hops never create new minus dimensions), so cross-class
+//     dependencies point one way only.
+//
+// Adaptivity survives inside each phase: any correctable dimension of the
+// phase may be crossed at whichever interface node the packet encounters,
+// the waypoint choice is load-informed (nearest), and on-chip movement is
+// negative-first-adaptive. This matches the "minus-first adaptive routing"
+// the paper reproduces from [30], with the VC discipline made explicit.
+type Hypercube struct {
+	T *topology.Topo
+}
+
+// Name implements network.Routing.
+func (h *Hypercube) Name() string { return "minus-first-hypercube" }
+
+// Route implements network.Routing.
+func (h *Hypercube) Route(net *network.Network, r *network.Router, _ int, pkt *network.Packet, buf []network.Candidate) []network.Candidate {
+	t := h.T
+	vcs := net.Cfg.VCs
+	if t.SameChiplet(r.ID, pkt.Dst) {
+		// Final spread: class 1 (or every VC ≥ 1 — all plus-class).
+		return onChipClass(t, r, pkt.Dst, upperMask(vcs), buf)
+	}
+	cc := t.ChipletID(r.ID)
+	dc := t.ChipletID(pkt.Dst)
+	set := phaseDims(cc, dc)
+	minusPhase := set&cc != 0
+	var mask uint16 = 1 // class 0: VC0 only
+	if !minusPhase {
+		mask = upperMask(vcs)
+	}
+	target := ensureTarget(t, r, pkt)
+	if target < 0 {
+		panic("routing: hypercube packet has no reachable waypoint (topology missing cube links)")
+	}
+
+	// Cross any correctable dimension of the current phase encountered at
+	// this node.
+	ports := t.OutPorts[r.ID]
+	for i := 1; i < len(ports); i++ {
+		p := &ports[i]
+		if !p.Dead && p.CubeDim >= 0 && set&(1<<p.CubeDim) != 0 {
+			buf = append(buf, network.Candidate{Port: i, VCMask: mask, Escape: true})
+		}
+	}
+	if r.ID != target {
+		buf = onChipClass(t, r, target, mask, buf)
+	}
+	return buf
+}
+
+// onChipClass emits negative-first on-chip moves toward a waypoint on the
+// given VC class mask. Negative-first is adaptive within its phase, so
+// multiple candidates are common. All candidates are escape-class: the
+// whole function is the (phase-partitioned) baseline.
+func onChipClass(t *topology.Topo, r *network.Router, target network.NodeID, mask uint16, buf []network.Candidate) []network.Candidate {
+	ax, ay := t.Coord(r.ID)
+	bx, by := t.Coord(target)
+	ports := t.OutPorts[r.ID]
+	for i := 1; i < len(ports); i++ {
+		p := &ports[i]
+		if p.Dead || p.Wrap || p.CubeDim >= 0 || p.Kind != network.KindOnChip {
+			continue
+		}
+		px, py := t.Coord(p.Dest)
+		if _, negOK := meshStep(ax, ay, px, py, bx, by); negOK {
+			buf = append(buf, network.Candidate{Port: i, VCMask: mask, Escape: true})
+		}
+	}
+	return buf
+}
+
+// upperMask returns the mask of every VC except VC0 (class 1). With the
+// Table 2 configuration (2 VCs) this is just VC1.
+func upperMask(vcs int) uint16 { return allMask(vcs) &^ 1 }
+
+// cubePortDead reports whether node n's cube link for dim has failed.
+func cubePortDead(t *topology.Topo, n network.NodeID, dim int) bool {
+	for i := 1; i < len(t.OutPorts[n]); i++ {
+		p := &t.OutPorts[n][i]
+		if int(p.CubeDim) == dim {
+			return p.Dead
+		}
+	}
+	return true // no such port: treat as unusable
+}

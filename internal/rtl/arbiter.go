@@ -1,0 +1,157 @@
+package rtl
+
+// Behavioral models of the router control logic counted in the Table 4
+// gate budgets: a round-robin arbiter, a matrix arbiter with
+// least-recently-granted priority, and the separable switch allocator that
+// combines per-output arbitration with per-input selection — the canonical
+// VC-router allocator structure (Sec. 7.3 cites the standard microarchitecture).
+
+// RoundRobinArbiter grants one of N requesters per cycle, rotating
+// priority after every grant so bandwidth is shared fairly.
+type RoundRobinArbiter struct {
+	n    int
+	next int
+}
+
+// NewRoundRobinArbiter returns an arbiter over n requesters.
+func NewRoundRobinArbiter(n int) *RoundRobinArbiter {
+	if n <= 0 {
+		panic("rtl: arbiter needs at least one requester")
+	}
+	return &RoundRobinArbiter{n: n}
+}
+
+// Grant picks the highest-priority asserted request; -1 when none. The
+// winner becomes the lowest-priority requester for the next cycle.
+func (a *RoundRobinArbiter) Grant(requests []bool) int {
+	if len(requests) != a.n {
+		panic("rtl: request vector width mismatch")
+	}
+	for i := 0; i < a.n; i++ {
+		idx := (a.next + i) % a.n
+		if requests[idx] {
+			a.next = (idx + 1) % a.n
+			return idx
+		}
+	}
+	return -1
+}
+
+// MatrixArbiter implements least-recently-granted priority with the
+// classic upper-triangular state matrix: w[i][j] means i beats j.
+type MatrixArbiter struct {
+	n int
+	w [][]bool
+}
+
+// NewMatrixArbiter returns a matrix arbiter over n requesters with
+// priority initially in index order.
+func NewMatrixArbiter(n int) *MatrixArbiter {
+	if n <= 0 {
+		panic("rtl: arbiter needs at least one requester")
+	}
+	m := &MatrixArbiter{n: n, w: make([][]bool, n)}
+	for i := range m.w {
+		m.w[i] = make([]bool, n)
+		for j := i + 1; j < n; j++ {
+			m.w[i][j] = true // lower index initially beats higher
+		}
+	}
+	return m
+}
+
+// Grant picks the requester that beats every other asserted requester,
+// then demotes it below all others.
+func (m *MatrixArbiter) Grant(requests []bool) int {
+	if len(requests) != m.n {
+		panic("rtl: request vector width mismatch")
+	}
+	winner := -1
+	for i := 0; i < m.n; i++ {
+		if !requests[i] {
+			continue
+		}
+		wins := true
+		for j := 0; j < m.n; j++ {
+			if j != i && requests[j] && !m.w[i][j] {
+				wins = false
+				break
+			}
+		}
+		if wins {
+			winner = i
+			break
+		}
+	}
+	if winner >= 0 {
+		for j := 0; j < m.n; j++ {
+			if j != winner {
+				m.w[winner][j] = false
+				m.w[j][winner] = true
+			}
+		}
+	}
+	return winner
+}
+
+// SeparableAllocator is the two-stage input-first switch allocator of the
+// canonical VC router: stage 1 arbitrates among an input's requesting VCs,
+// stage 2 arbitrates among inputs requesting the same output. Grants are
+// conflict-free by construction (one VC per input, one input per output).
+type SeparableAllocator struct {
+	inputs, outputs int
+	inputArb        []*RoundRobinArbiter // one per input, over its VCs
+	outputArb       []*RoundRobinArbiter // one per output, over inputs
+	vcs             int
+}
+
+// NewSeparableAllocator builds an allocator for inputs×vcs requesters
+// contending for outputs.
+func NewSeparableAllocator(inputs, vcs, outputs int) *SeparableAllocator {
+	s := &SeparableAllocator{inputs: inputs, outputs: outputs, vcs: vcs}
+	for i := 0; i < inputs; i++ {
+		s.inputArb = append(s.inputArb, NewRoundRobinArbiter(vcs))
+	}
+	for o := 0; o < outputs; o++ {
+		s.outputArb = append(s.outputArb, NewRoundRobinArbiter(inputs))
+	}
+	return s
+}
+
+// Request maps (input, vc) → desired output, or -1 for idle.
+type Request [][]int
+
+// Allocate returns grants[input] = (vc, output), or (-1, -1).
+func (s *SeparableAllocator) Allocate(req Request) [][2]int {
+	if len(req) != s.inputs {
+		panic("rtl: request matrix height mismatch")
+	}
+	grants := make([][2]int, s.inputs)
+	for i := range grants {
+		grants[i] = [2]int{-1, -1}
+	}
+	// Stage 1: each input picks one requesting VC.
+	chosenVC := make([]int, s.inputs)
+	for i := 0; i < s.inputs; i++ {
+		reqs := make([]bool, s.vcs)
+		for v := 0; v < s.vcs; v++ {
+			if req[i][v] >= 0 {
+				reqs[v] = true
+			}
+		}
+		chosenVC[i] = s.inputArb[i].Grant(reqs)
+	}
+	// Stage 2: each output picks one requesting input.
+	for o := 0; o < s.outputs; o++ {
+		reqs := make([]bool, s.inputs)
+		for i := 0; i < s.inputs; i++ {
+			if chosenVC[i] >= 0 && req[i][chosenVC[i]] == o {
+				reqs[i] = true
+			}
+		}
+		if winner := s.outputArb[o].Grant(reqs); winner >= 0 {
+			grants[winner] = [2]int{chosenVC[winner], o}
+		}
+	}
+	return grants
+}

@@ -1,0 +1,185 @@
+package rtl
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundRobinGrantsOnlyRequesters(t *testing.T) {
+	a := NewRoundRobinArbiter(4)
+	if g := a.Grant([]bool{false, false, false, false}); g != -1 {
+		t.Fatalf("grant %d with no requests", g)
+	}
+	if g := a.Grant([]bool{false, false, true, false}); g != 2 {
+		t.Fatalf("grant %d, want 2", g)
+	}
+}
+
+func TestRoundRobinFairness(t *testing.T) {
+	// With all requesters always asserted, grants must rotate with equal
+	// shares.
+	a := NewRoundRobinArbiter(4)
+	counts := [4]int{}
+	all := []bool{true, true, true, true}
+	for i := 0; i < 400; i++ {
+		counts[a.Grant(all)]++
+	}
+	for i, c := range counts {
+		if c != 100 {
+			t.Fatalf("requester %d got %d of 400 grants", i, c)
+		}
+	}
+}
+
+func TestRoundRobinNoStarvationProperty(t *testing.T) {
+	// A requester that stays asserted is granted within n cycles no matter
+	// what the others do.
+	f := func(seed int64, victim uint8) bool {
+		n := 6
+		v := int(victim) % n
+		rng := rand.New(rand.NewSource(seed))
+		a := NewRoundRobinArbiter(n)
+		waited := 0
+		for cycle := 0; cycle < 200; cycle++ {
+			reqs := make([]bool, n)
+			for i := range reqs {
+				reqs[i] = rng.Intn(2) == 0
+			}
+			reqs[v] = true
+			if a.Grant(reqs) == v {
+				waited = 0
+			} else {
+				waited++
+				if waited >= n {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrixArbiterLRGPriority(t *testing.T) {
+	m := NewMatrixArbiter(3)
+	all := []bool{true, true, true}
+	// Initial priority: 0 beats all.
+	if g := m.Grant(all); g != 0 {
+		t.Fatalf("first grant %d, want 0", g)
+	}
+	// 0 demoted: now 1 wins.
+	if g := m.Grant(all); g != 1 {
+		t.Fatalf("second grant %d, want 1", g)
+	}
+	if g := m.Grant(all); g != 2 {
+		t.Fatalf("third grant %d, want 2", g)
+	}
+	// Wrapped: 0 is least-recently-granted again.
+	if g := m.Grant(all); g != 0 {
+		t.Fatalf("fourth grant %d, want 0", g)
+	}
+}
+
+func TestMatrixArbiterAlwaysGrantsExactlyOneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMatrixArbiter(5)
+		for cycle := 0; cycle < 100; cycle++ {
+			reqs := make([]bool, 5)
+			any := false
+			for i := range reqs {
+				reqs[i] = rng.Intn(3) == 0
+				any = any || reqs[i]
+			}
+			g := m.Grant(reqs)
+			if any && (g < 0 || !reqs[g]) {
+				return false
+			}
+			if !any && g != -1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeparableAllocatorConflictFreeProperty(t *testing.T) {
+	// Whatever the request matrix, grants never share an output and each
+	// granted (input, vc) actually requested that output.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const inputs, vcs, outputs = 5, 2, 5
+		s := NewSeparableAllocator(inputs, vcs, outputs)
+		for cycle := 0; cycle < 50; cycle++ {
+			req := make(Request, inputs)
+			for i := range req {
+				req[i] = make([]int, vcs)
+				for v := range req[i] {
+					req[i][v] = rng.Intn(outputs+2) - 2 // -2,-1 → idle-ish
+					if req[i][v] < 0 {
+						req[i][v] = -1
+					}
+				}
+			}
+			grants := s.Allocate(req)
+			usedOut := map[int]bool{}
+			for i, g := range grants {
+				if g[0] == -1 {
+					continue
+				}
+				if req[i][g[0]] != g[1] {
+					return false // granted an output it never asked for
+				}
+				if usedOut[g[1]] {
+					return false // output double-booked
+				}
+				usedOut[g[1]] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeparableAllocatorThroughput(t *testing.T) {
+	// A full permutation request pattern must achieve full throughput
+	// (every output granted every cycle).
+	s := NewSeparableAllocator(4, 2, 4)
+	req := Request{
+		{0, -1}, {1, -1}, {2, -1}, {3, -1},
+	}
+	for cycle := 0; cycle < 10; cycle++ {
+		grants := s.Allocate(req)
+		for i, g := range grants {
+			if g[1] != i {
+				t.Fatalf("cycle %d: input %d granted output %d, want %d", cycle, i, g[1], i)
+			}
+		}
+	}
+}
+
+func TestArbiterPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewRoundRobinArbiter(0) },
+		func() { NewMatrixArbiter(-1) },
+		func() { NewRoundRobinArbiter(2).Grant([]bool{true}) },
+		func() { NewMatrixArbiter(2).Grant([]bool{true}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

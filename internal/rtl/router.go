@@ -1,0 +1,246 @@
+package rtl
+
+import "fmt"
+
+// RTLRouter is a structural, cycle-accurate model of the canonical VC
+// router the paper synthesizes (Sec. 7.3, module 3): per-input-VC FIFOs, a
+// routing function, a separable VC allocator, a separable switch allocator
+// built from round-robin arbiters, and a crossbar — the same organization
+// whose gate counts feed the Table 4 estimator. The heterogeneous variant
+// adds extra concurrently-served interface ports (NewHeteroRTLRouter).
+//
+// It is intentionally independent of internal/network: the behavioral
+// simulator models whole systems efficiently; this model mirrors the
+// synthesized microarchitecture register-for-register, which is what the
+// adapter/router property tests need (grant uniqueness, credit safety,
+// wormhole integrity, fairness).
+type RTLRouter struct {
+	ports int
+	vcs   int
+	depth int
+
+	// ConcurrentOutputs marks outputs that may accept several grants per
+	// cycle (the heterogeneous router's interface ports, Sec. 4.1).
+	concurrent []bool
+
+	inputs   [][]*routerVC // [port][vc]
+	route    RouteFunc
+	vcArb    []*RoundRobinArbiter // per output: arbitrate requesting input VCs
+	swInArb  []*RoundRobinArbiter // per input: pick one VC
+	swOutArb []*RoundRobinArbiter // per output: pick one input
+
+	// credits[port][vc] tracks downstream buffer space.
+	credits [][]int
+
+	// Delivered flits appear here each cycle, tagged with their output.
+	out []RTLFlit
+
+	// outHeld[port][vc] marks output VCs owned by an in-flight packet;
+	// the owner is identified by (input port, input vc).
+	outHeld [][]int
+
+	cycle int64
+}
+
+// RTLFlit is the router model's flow unit.
+type RTLFlit struct {
+	PacketID uint32
+	Seq      uint16
+	Last     bool
+	DestPort uint8
+	// Out is filled at delivery: which output port and VC carried it.
+	Out   uint8
+	OutVC uint8
+}
+
+// routerVC is one input virtual channel: buffer + allocation state.
+type routerVC struct {
+	fifo    []RTLFlit
+	depth   int
+	active  bool
+	outPort int
+	outVC   int
+}
+
+// RouteFunc maps a head flit to its output port.
+type RouteFunc func(f RTLFlit) int
+
+// NewRTLRouter builds a router with the given radix, VC count and per-VC
+// buffer depth. route defaults to using DestPort directly.
+func NewRTLRouter(ports, vcs, depth int, route RouteFunc) *RTLRouter {
+	if ports <= 0 || vcs <= 0 || depth <= 0 {
+		panic("rtl: router dimensions must be positive")
+	}
+	if route == nil {
+		route = func(f RTLFlit) int { return int(f.DestPort) }
+	}
+	r := &RTLRouter{ports: ports, vcs: vcs, depth: depth, route: route}
+	r.concurrent = make([]bool, ports)
+	r.inputs = make([][]*routerVC, ports)
+	r.credits = make([][]int, ports)
+	r.outHeld = make([][]int, ports)
+	for p := 0; p < ports; p++ {
+		r.inputs[p] = make([]*routerVC, vcs)
+		r.credits[p] = make([]int, vcs)
+		r.outHeld[p] = make([]int, vcs)
+		for v := 0; v < vcs; v++ {
+			r.inputs[p][v] = &routerVC{depth: depth, outPort: -1, outVC: -1}
+			r.credits[p][v] = depth
+			r.outHeld[p][v] = -1
+		}
+		r.vcArb = append(r.vcArb, NewRoundRobinArbiter(ports*vcs))
+		r.swInArb = append(r.swInArb, NewRoundRobinArbiter(vcs))
+		r.swOutArb = append(r.swOutArb, NewRoundRobinArbiter(ports))
+	}
+	return r
+}
+
+// NewHeteroRTLRouter builds the paper's heterogeneous router: `base` regular
+// ports plus `extra` concurrently-served interface ports (Sec. 7.3 adds two
+// serial ports to a 5-port router).
+func NewHeteroRTLRouter(base, extra, vcs, depth int, route RouteFunc) *RTLRouter {
+	r := NewRTLRouter(base+extra, vcs, depth, route)
+	for p := base; p < base+extra; p++ {
+		r.concurrent[p] = true
+	}
+	return r
+}
+
+// Push presents a flit at an input port's VC; it reports false when the
+// buffer is full (upstream must respect credits).
+func (r *RTLRouter) Push(port, vc int, f RTLFlit) bool {
+	q := r.inputs[port][vc]
+	if len(q.fifo) >= q.depth {
+		return false
+	}
+	q.fifo = append(q.fifo, f)
+	return true
+}
+
+// Credits returns the free downstream slots the router believes output
+// (port, vc) has.
+func (r *RTLRouter) Credits(port, vc int) int { return r.credits[port][vc] }
+
+// ReturnCredit models the downstream router freeing one slot.
+func (r *RTLRouter) ReturnCredit(port, vc int) {
+	r.credits[port][vc]++
+	if r.credits[port][vc] > r.depth {
+		panic(fmt.Sprintf("rtl: credit overflow at output %d vc %d", port, vc))
+	}
+}
+
+// Tick advances one cycle and returns the flits leaving through the
+// crossbar this cycle (each tagged with Out/OutVC). Regular outputs carry
+// at most one flit per cycle; concurrent (interface) outputs may carry one
+// flit per output VC.
+func (r *RTLRouter) Tick() []RTLFlit {
+	r.cycle++
+	r.out = r.out[:0]
+
+	// --- VC allocation, separable: idle VCs with a buffered head request
+	// an output VC of their routed port; each output arbitrates among ALL
+	// requesting input VCs round-robin and hands out its free output VCs.
+	reqByOut := make([][]bool, r.ports)
+	for p := 0; p < r.ports; p++ {
+		for v := 0; v < r.vcs; v++ {
+			in := r.inputs[p][v]
+			if in.active || len(in.fifo) == 0 {
+				continue
+			}
+			head := in.fifo[0]
+			if head.Seq != 0 {
+				panic(fmt.Sprintf("rtl: non-head flit (pkt %d seq %d) at idle VC %d.%d", head.PacketID, head.Seq, p, v))
+			}
+			op := r.route(head)
+			if op < 0 || op >= r.ports {
+				panic("rtl: route function returned bad port")
+			}
+			if reqByOut[op] == nil {
+				reqByOut[op] = make([]bool, r.ports*r.vcs)
+			}
+			reqByOut[op][p*r.vcs+v] = true
+		}
+	}
+	for op := 0; op < r.ports; op++ {
+		if reqByOut[op] == nil {
+			continue
+		}
+		for ov := 0; ov < r.vcs; ov++ {
+			if r.outHeld[op][ov] >= 0 || r.credits[op][ov] == 0 {
+				continue
+			}
+			winner := r.vcArb[op].Grant(reqByOut[op])
+			if winner < 0 {
+				break
+			}
+			reqByOut[op][winner] = false
+			p, v := winner/r.vcs, winner%r.vcs
+			r.outHeld[op][ov] = winner
+			in := r.inputs[p][v]
+			in.active, in.outPort, in.outVC = true, op, ov
+		}
+	}
+
+	// --- Switch allocation: stage 1, each input picks one requesting VC.
+	chosen := make([]int, r.ports)
+	for p := 0; p < r.ports; p++ {
+		reqs := make([]bool, r.vcs)
+		for v := 0; v < r.vcs; v++ {
+			in := r.inputs[p][v]
+			reqs[v] = in.active && len(in.fifo) > 0 && r.credits[in.outPort][in.outVC] > 0
+		}
+		chosen[p] = r.swInArb[p].Grant(reqs)
+	}
+	// Stage 2: each output picks inputs. Regular outputs take one; the
+	// heterogeneous interface outputs take every requester (up to one per
+	// output VC, which VC allocation already guarantees).
+	for op := 0; op < r.ports; op++ {
+		reqs := make([]bool, r.ports)
+		for p := 0; p < r.ports; p++ {
+			if chosen[p] >= 0 && r.inputs[p][chosen[p]].outPort == op {
+				reqs[p] = true
+			}
+		}
+		if r.concurrent[op] {
+			for p, want := range reqs {
+				if want {
+					r.transfer(p, chosen[p])
+				}
+			}
+			continue
+		}
+		if winner := r.swOutArb[op].Grant(reqs); winner >= 0 {
+			r.transfer(winner, chosen[winner])
+		}
+	}
+	return r.out
+}
+
+// transfer moves one flit through the crossbar.
+func (r *RTLRouter) transfer(p, v int) {
+	in := r.inputs[p][v]
+	f := in.fifo[0]
+	in.fifo = in.fifo[1:]
+	f.Out = uint8(in.outPort)
+	f.OutVC = uint8(in.outVC)
+	r.credits[in.outPort][in.outVC]--
+	if r.credits[in.outPort][in.outVC] < 0 {
+		panic("rtl: switch allocation violated credits")
+	}
+	r.out = append(r.out, f)
+	if f.Last {
+		r.outHeld[in.outPort][in.outVC] = -1
+		in.active, in.outPort, in.outVC = false, -1, -1
+	}
+}
+
+// Occupancy returns buffered flits across all input VCs.
+func (r *RTLRouter) Occupancy() int {
+	n := 0
+	for p := range r.inputs {
+		for _, vcq := range r.inputs[p] {
+			n += len(vcq.fifo)
+		}
+	}
+	return n
+}

@@ -1,0 +1,275 @@
+package rtl
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// pushPacket feeds a whole packet into an input VC over multiple ticks,
+// collecting crossbar output. Returns the collected flits.
+func runRTL(t *testing.T, r *RTLRouter, cycles int, feed func(cycle int)) []RTLFlit {
+	t.Helper()
+	var out []RTLFlit
+	for c := 0; c < cycles; c++ {
+		if feed != nil {
+			feed(c)
+		}
+		got := r.Tick()
+		out = append(out, got...)
+		// Downstream returns credits immediately (ideal sink).
+		for _, f := range got {
+			r.ReturnCredit(int(f.Out), int(f.OutVC))
+		}
+	}
+	return out
+}
+
+func mkFlits(pkt uint32, n int, dest uint8) []RTLFlit {
+	fs := make([]RTLFlit, n)
+	for i := range fs {
+		fs[i] = RTLFlit{PacketID: pkt, Seq: uint16(i), Last: i == n-1, DestPort: dest}
+	}
+	return fs
+}
+
+func TestRTLRouterSinglePacket(t *testing.T) {
+	r := NewRTLRouter(5, 2, 8, nil)
+	flits := mkFlits(1, 4, 3)
+	fed := 0
+	out := runRTL(t, r, 20, func(c int) {
+		if fed < len(flits) {
+			if r.Push(0, 0, flits[fed]) {
+				fed++
+			}
+		}
+	})
+	if len(out) != 4 {
+		t.Fatalf("delivered %d of 4 flits", len(out))
+	}
+	for i, f := range out {
+		if int(f.Seq) != i || f.Out != 3 {
+			t.Fatalf("flit %d wrong: %+v", i, f)
+		}
+	}
+	if r.Occupancy() != 0 {
+		t.Fatal("router not drained")
+	}
+}
+
+func TestRTLRouterWormholeIntegrity(t *testing.T) {
+	// Two packets from different inputs to the same output must not
+	// interleave within an output VC.
+	r := NewRTLRouter(5, 2, 8, nil)
+	a, b := mkFlits(1, 6, 4), mkFlits(2, 6, 4)
+	fa, fb := 0, 0
+	out := runRTL(t, r, 60, func(c int) {
+		if fa < len(a) && r.Push(0, 0, a[fa]) {
+			fa++
+		}
+		if fb < len(b) && r.Push(1, 0, b[fb]) {
+			fb++
+		}
+	})
+	if len(out) != 12 {
+		t.Fatalf("delivered %d of 12", len(out))
+	}
+	// Per output VC, packets must be contiguous.
+	lastPkt := map[uint8]uint32{}
+	done := map[uint8]map[uint32]bool{}
+	for _, f := range out {
+		if done[f.OutVC] == nil {
+			done[f.OutVC] = map[uint32]bool{}
+		}
+		if prev, ok := lastPkt[f.OutVC]; ok && prev != f.PacketID {
+			if !f.Last && f.Seq != 0 {
+				t.Fatalf("packet %d interleaved mid-flight on out VC %d", f.PacketID, f.OutVC)
+			}
+			if done[f.OutVC][f.PacketID] {
+				t.Fatalf("packet %d resumed after another packet on out VC %d", f.PacketID, f.OutVC)
+			}
+		}
+		lastPkt[f.OutVC] = f.PacketID
+		if f.Last {
+			done[f.OutVC][f.PacketID] = true
+		}
+	}
+}
+
+func TestRTLRouterRegularOutputOneFlitPerCycle(t *testing.T) {
+	// Saturate a regular output from two inputs: per-cycle output count
+	// must never exceed 1.
+	r := NewRTLRouter(5, 2, 8, nil)
+	pkt := uint32(1)
+	for c := 0; c < 100; c++ {
+		for in := 0; in < 2; in++ {
+			f := RTLFlit{PacketID: pkt, Seq: 0, Last: true, DestPort: 4}
+			pkt++
+			r.Push(in, c%2, f)
+		}
+		got := r.Tick()
+		if len(got) > 1 {
+			t.Fatalf("regular output carried %d flits in one cycle", len(got))
+		}
+		for _, f := range got {
+			r.ReturnCredit(int(f.Out), int(f.OutVC))
+		}
+	}
+}
+
+func TestHeteroRTLRouterConcurrentOutput(t *testing.T) {
+	// The heterogeneous router's interface output accepts one flit per
+	// output VC per cycle — strictly more than the regular router.
+	r := NewHeteroRTLRouter(5, 2, 2, 8, nil)
+	sawConcurrent := false
+	pkt := uint32(1)
+	for c := 0; c < 100; c++ {
+		for in := 0; in < 2; in++ {
+			f := RTLFlit{PacketID: pkt, Seq: 0, Last: true, DestPort: 5} // interface port
+			pkt++
+			r.Push(in, 0, f)
+		}
+		got := r.Tick()
+		if len(got) > 2 {
+			t.Fatalf("interface output carried %d flits, max is one per VC (2)", len(got))
+		}
+		if len(got) == 2 {
+			sawConcurrent = true
+		}
+		for _, f := range got {
+			r.ReturnCredit(int(f.Out), int(f.OutVC))
+		}
+	}
+	if !sawConcurrent {
+		t.Fatal("interface output never served two inputs concurrently")
+	}
+}
+
+func TestRTLRouterCreditBackpressure(t *testing.T) {
+	// Without credit returns, at most depth×vcs flits can leave per output.
+	r := NewRTLRouter(3, 2, 4, nil)
+	var out []RTLFlit
+	pkt := uint32(1)
+	for c := 0; c < 60; c++ {
+		f := RTLFlit{PacketID: pkt, Seq: 0, Last: true, DestPort: 2}
+		pkt++
+		r.Push(0, 0, f)
+		out = append(out, r.Tick()...) // never return credits
+	}
+	if len(out) > 8 {
+		t.Fatalf("%d flits left without credits (depth 4 × 2 VCs = 8 max)", len(out))
+	}
+	if len(out) == 0 {
+		t.Fatal("no flits left at all")
+	}
+}
+
+func TestRTLRouterFairnessAcrossInputs(t *testing.T) {
+	// Four inputs saturating one output must share within 25%.
+	r := NewRTLRouter(5, 2, 8, nil)
+	counts := map[uint32]int{}
+	pktOf := map[uint32]uint32{} // packet -> input
+	next := uint32(1)
+	out := runRTL(t, r, 2000, func(c int) {
+		for in := uint32(0); in < 4; in++ {
+			f := RTLFlit{PacketID: next, Seq: 0, Last: true, DestPort: 4}
+			if r.Push(int(in), c%2, f) {
+				pktOf[next] = in
+				next++
+			}
+		}
+	})
+	for _, f := range out {
+		counts[pktOf[f.PacketID]]++
+	}
+	total := len(out)
+	for in := uint32(0); in < 4; in++ {
+		share := float64(counts[in]) / float64(total)
+		if share < 0.15 || share > 0.35 {
+			t.Fatalf("input %d got %.0f%% of one output's bandwidth (want ≈25%%)", in, 100*share)
+		}
+	}
+}
+
+// TestRTLRouterPropertyAllDelivered: random traffic through random ports is
+// fully delivered in order per packet.
+func TestRTLRouterPropertyAllDelivered(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := NewRTLRouter(4, 2, 8, nil)
+		type stream struct {
+			flits []RTLFlit
+			fed   int
+			in    int
+			vc    int
+		}
+		// One stream per (input, VC) slot: wormhole requires packets to be
+		// contiguous within an input VC, so streams must not share one.
+		var streams []*stream
+		slots := rng.Perm(8)[:6]
+		for i, slot := range slots {
+			n := rng.Intn(6) + 1
+			streams = append(streams, &stream{
+				flits: mkFlits(uint32(i+1), n, uint8(rng.Intn(4))),
+				in:    slot / 2,
+				vc:    slot % 2,
+			})
+		}
+		var out []RTLFlit
+		for c := 0; c < 400; c++ {
+			for _, s := range streams {
+				if s.fed < len(s.flits) && r.Push(s.in, s.vc, s.flits[s.fed]) {
+					s.fed++
+				}
+			}
+			got := r.Tick()
+			out = append(out, got...)
+			for _, fl := range got {
+				r.ReturnCredit(int(fl.Out), int(fl.OutVC))
+			}
+		}
+		want := 0
+		for _, s := range streams {
+			want += len(s.flits)
+		}
+		if len(out) != want {
+			return false
+		}
+		// Per-packet order.
+		nextSeq := map[uint32]uint16{}
+		for _, fl := range out {
+			if fl.Seq != nextSeq[fl.PacketID] {
+				return false
+			}
+			nextSeq[fl.PacketID]++
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRTLRouterPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewRTLRouter(0, 1, 1, nil) },
+		func() {
+			r := NewRTLRouter(2, 1, 4, func(RTLFlit) int { return 99 })
+			r.Push(0, 0, RTLFlit{Last: true})
+			r.Tick()
+		},
+		func() {
+			r := NewRTLRouter(2, 1, 4, nil)
+			r.ReturnCredit(0, 0) // overflow: nothing was consumed
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

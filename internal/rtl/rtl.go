@@ -1,0 +1,208 @@
+// Package rtl provides behavioral models of the circuits the paper
+// synthesizes at TSMC-12nm (Sec. 7.3) and a structural area/power/timing
+// estimator reproducing the post-synthesis analysis of Table 4.
+//
+// The paper's circuit verification covers three modules:
+//
+//  1. the hetero-PHY adapter RX — a 64-bit × 16-deep FIFO plus sequence-
+//     number counting logic (the reorder buffer), implemented here as
+//     RxReorder;
+//  2. the hetero-PHY adapter TX — a same-size multi-width FIFO with three
+//     concurrent read/write ports and the balance-scheduling control
+//     (read 3 flits when half full: one to the parallel PHY, two to the
+//     serial IF; otherwise read 1 to the parallel PHY), implemented as
+//     MultiPortFIFO + BalanceScheduler;
+//  3. the canonical VC router, regular (5 ports) and heterogeneous
+//     (+2 concurrent serial ports with their routing logic).
+//
+// Substitution note (DESIGN.md §4): we cannot run Synopsys on TSMC-12nm;
+// Estimate computes area, power and critical path from structural
+// parameters (storage bits, port counts, crossbar size, control gates)
+// with coefficients calibrated against the paper's own four synthesis
+// results, so the Table 4 relations (tiny fast adapters; hetero router
+// ≈ +45% area / +33% power at nearly unchanged frequency) are reproduced.
+package rtl
+
+import "fmt"
+
+// Word is one 64-bit flit payload with its link sequence number, the datum
+// the adapter FIFOs move around.
+type Word struct {
+	Data uint64
+	SN   uint16
+}
+
+// FIFO is a synchronous single-read single-write FIFO of Words.
+type FIFO struct {
+	buf  []Word
+	head int
+	n    int
+}
+
+// NewFIFO returns a FIFO with the given depth.
+func NewFIFO(depth int) *FIFO {
+	if depth <= 0 {
+		panic("rtl: FIFO depth must be positive")
+	}
+	return &FIFO{buf: make([]Word, depth)}
+}
+
+// Len returns the current occupancy.
+func (f *FIFO) Len() int { return f.n }
+
+// Cap returns the depth.
+func (f *FIFO) Cap() int { return len(f.buf) }
+
+// Full reports whether a push would fail.
+func (f *FIFO) Full() bool { return f.n == len(f.buf) }
+
+// Push enqueues one word; it reports false when full.
+func (f *FIFO) Push(w Word) bool {
+	if f.Full() {
+		return false
+	}
+	f.buf[(f.head+f.n)%len(f.buf)] = w
+	f.n++
+	return true
+}
+
+// Pop dequeues the oldest word; ok is false when empty.
+func (f *FIFO) Pop() (w Word, ok bool) {
+	if f.n == 0 {
+		return Word{}, false
+	}
+	w = f.buf[f.head]
+	f.head = (f.head + 1) % len(f.buf)
+	f.n--
+	return w, true
+}
+
+// Peek returns the oldest word without removing it.
+func (f *FIFO) Peek() (w Word, ok bool) {
+	if f.n == 0 {
+		return Word{}, false
+	}
+	return f.buf[f.head], true
+}
+
+// MultiPortFIFO is the TX adapter queue: a FIFO that can accept and
+// deliver several words in one cycle (the paper's design uses 3 concurrent
+// read/write ports).
+type MultiPortFIFO struct {
+	FIFO
+	Ports int
+}
+
+// NewMultiPortFIFO returns a multi-width FIFO with the given depth and
+// port count.
+func NewMultiPortFIFO(depth, ports int) *MultiPortFIFO {
+	if ports <= 0 {
+		panic("rtl: port count must be positive")
+	}
+	return &MultiPortFIFO{FIFO: *NewFIFO(depth), Ports: ports}
+}
+
+// WriteN enqueues up to min(len(ws), Ports, free) words this cycle and
+// returns how many were accepted.
+func (m *MultiPortFIFO) WriteN(ws []Word) int {
+	n := min(len(ws), m.Ports, m.Cap()-m.Len())
+	for i := 0; i < n; i++ {
+		m.Push(ws[i])
+	}
+	return n
+}
+
+// ReadN dequeues up to min(n, Ports, Len) words this cycle.
+func (m *MultiPortFIFO) ReadN(n int) []Word {
+	n = min(n, m.Ports, m.Len())
+	out := make([]Word, 0, n)
+	for i := 0; i < n; i++ {
+		w, _ := m.Pop()
+		out = append(out, w)
+	}
+	return out
+}
+
+// BalanceScheduler is the synthesized TX control logic of Sec. 7.3: when
+// the queue has reached half capacity it reads three flits per cycle (one
+// to the parallel PHY, two to the serial IF); otherwise one flit to the
+// parallel PHY.
+type BalanceScheduler struct {
+	Q *MultiPortFIFO
+}
+
+// Tick returns this cycle's issue decision: the words sent to the parallel
+// PHY (0 or 1) and to the serial IF (0 to 2).
+func (b *BalanceScheduler) Tick() (parallel, serial []Word) {
+	if b.Q.Len() >= b.Q.Cap()/2 {
+		ws := b.Q.ReadN(3)
+		if len(ws) > 0 {
+			parallel = ws[:1]
+		}
+		if len(ws) > 1 {
+			serial = ws[1:]
+		}
+		return parallel, serial
+	}
+	return b.Q.ReadN(1), nil
+}
+
+// RxReorder is the RX adapter of Sec. 7.3: a FIFO buffering flits (data +
+// sequence number) from the parallel PHY that waits for flits with earlier
+// SNs to arrive from the serial PHY. Words from either PHY are released
+// strictly in SN order.
+type RxReorder struct {
+	fifo    []Word // pending out-of-order words
+	nextSN  uint16
+	depth   int
+	dropped int
+}
+
+// NewRxReorder returns a reorder unit with the given FIFO depth (the paper
+// uses 16).
+func NewRxReorder(depth int) *RxReorder {
+	return &RxReorder{depth: depth}
+}
+
+// Full reports whether another out-of-order word would overflow the FIFO.
+func (r *RxReorder) Full() bool { return len(r.fifo) >= r.depth }
+
+// Insert accepts an arriving word; it reports false (backpressure) when
+// the word is out of order and the FIFO is full.
+func (r *RxReorder) Insert(w Word) bool {
+	if w.SN != r.nextSN && r.Full() {
+		return false
+	}
+	r.fifo = append(r.fifo, w)
+	return true
+}
+
+// Drain releases every word that is now in order, in SN order.
+func (r *RxReorder) Drain() []Word {
+	var out []Word
+	for {
+		found := false
+		for i, w := range r.fifo {
+			if w.SN == r.nextSN {
+				out = append(out, w)
+				r.fifo = append(r.fifo[:i], r.fifo[i+1:]...)
+				r.nextSN++
+				found = true
+				break
+			}
+		}
+		if !found {
+			return out
+		}
+	}
+}
+
+// Pending returns the number of buffered out-of-order words.
+func (r *RxReorder) Pending() int { return len(r.fifo) }
+
+// NextSN returns the next sequence number the unit will release.
+func (r *RxReorder) NextSN() uint16 { return r.nextSN }
+
+func (r *RxReorder) String() string {
+	return fmt.Sprintf("RxReorder{next=%d pending=%d/%d}", r.nextSN, len(r.fifo), r.depth)
+}

@@ -1,0 +1,269 @@
+package rtl
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	f := NewFIFO(4)
+	for i := 0; i < 4; i++ {
+		if !f.Push(Word{Data: uint64(i), SN: uint16(i)}) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if f.Push(Word{}) {
+		t.Fatal("push into full FIFO succeeded")
+	}
+	if w, ok := f.Peek(); !ok || w.Data != 0 {
+		t.Fatal("peek wrong")
+	}
+	for i := 0; i < 4; i++ {
+		w, ok := f.Pop()
+		if !ok || w.Data != uint64(i) {
+			t.Fatalf("pop %d = %v,%v", i, w, ok)
+		}
+	}
+	if _, ok := f.Pop(); ok {
+		t.Fatal("pop from empty FIFO succeeded")
+	}
+}
+
+func TestFIFOPanicsOnBadDepth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero depth accepted")
+		}
+	}()
+	NewFIFO(0)
+}
+
+// TestFIFOPropertyAgainstSliceModel: random push/pop against a reference.
+func TestFIFOPropertyAgainstSliceModel(t *testing.T) {
+	f := func(ops []bool) bool {
+		q := NewFIFO(8)
+		var ref []Word
+		next := uint64(0)
+		for _, push := range ops {
+			if push {
+				w := Word{Data: next, SN: uint16(next)}
+				ok := q.Push(w)
+				if ok != (len(ref) < 8) {
+					return false
+				}
+				if ok {
+					ref = append(ref, w)
+					next++
+				}
+			} else {
+				w, ok := q.Pop()
+				if ok != (len(ref) > 0) {
+					return false
+				}
+				if ok {
+					if w != ref[0] {
+						return false
+					}
+					ref = ref[1:]
+				}
+			}
+			if q.Len() != len(ref) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiPortFIFOWidths(t *testing.T) {
+	m := NewMultiPortFIFO(16, 3)
+	ws := make([]Word, 5)
+	for i := range ws {
+		ws[i] = Word{Data: uint64(i)}
+	}
+	// Port count caps a single-cycle write at 3.
+	if n := m.WriteN(ws); n != 3 {
+		t.Fatalf("WriteN accepted %d, want 3 (port limit)", n)
+	}
+	// Reads are port-capped too.
+	out := m.ReadN(5)
+	if len(out) != 3 {
+		t.Fatalf("ReadN returned %d, want 3", len(out))
+	}
+	for i, w := range out {
+		if w.Data != uint64(i) {
+			t.Fatalf("order broken at %d: %v", i, w)
+		}
+	}
+}
+
+func TestMultiPortFIFOCapacityCap(t *testing.T) {
+	m := NewMultiPortFIFO(2, 3)
+	ws := []Word{{Data: 1}, {Data: 2}, {Data: 3}}
+	if n := m.WriteN(ws); n != 2 {
+		t.Fatalf("WriteN accepted %d, want 2 (capacity limit)", n)
+	}
+}
+
+// TestBalanceSchedulerMatchesRTLSpec: Sec. 7.3 — at ≥ half capacity read 3
+// flits (1 parallel + 2 serial); otherwise read 1 to the parallel PHY.
+func TestBalanceSchedulerMatchesRTLSpec(t *testing.T) {
+	m := NewMultiPortFIFO(16, 3)
+	s := &BalanceScheduler{Q: m}
+
+	// Light: 3 entries < 8.
+	for i := 0; i < 3; i++ {
+		m.WriteN([]Word{{Data: uint64(i)}})
+	}
+	p, ser := s.Tick()
+	if len(p) != 1 || len(ser) != 0 {
+		t.Fatalf("light load: %d parallel / %d serial, want 1/0", len(p), len(ser))
+	}
+
+	// Heavy: fill to capacity.
+	for m.Len() < m.Cap() {
+		m.WriteN([]Word{{Data: 99}})
+	}
+	p, ser = s.Tick()
+	if len(p) != 1 || len(ser) != 2 {
+		t.Fatalf("heavy load: %d parallel / %d serial, want 1/2", len(p), len(ser))
+	}
+
+	// Empty: nothing to issue.
+	for m.Len() > 0 {
+		m.ReadN(3)
+	}
+	p, ser = s.Tick()
+	if len(p) != 0 || len(ser) != 0 {
+		t.Fatal("empty queue issued flits")
+	}
+}
+
+func TestRxReorderReleasesInSNOrder(t *testing.T) {
+	r := NewRxReorder(16)
+	// Serial flits 0,1 delayed; parallel flits 2,3,4 arrive first.
+	for _, sn := range []uint16{2, 3, 4} {
+		if !r.Insert(Word{Data: uint64(sn), SN: sn}) {
+			t.Fatalf("insert %d rejected", sn)
+		}
+	}
+	if out := r.Drain(); len(out) != 0 {
+		t.Fatalf("released %d words before SN 0 arrived", len(out))
+	}
+	r.Insert(Word{SN: 0})
+	r.Insert(Word{SN: 1})
+	out := r.Drain()
+	if len(out) != 5 {
+		t.Fatalf("released %d, want 5", len(out))
+	}
+	for i, w := range out {
+		if w.SN != uint16(i) {
+			t.Fatalf("SN order broken at %d: %d", i, w.SN)
+		}
+	}
+}
+
+func TestRxReorderBackpressureWhenFull(t *testing.T) {
+	r := NewRxReorder(2)
+	r.Insert(Word{SN: 5})
+	r.Insert(Word{SN: 6})
+	if r.Insert(Word{SN: 7}) {
+		t.Fatal("overflow accepted")
+	}
+	// The in-order word is always accepted (it flows through).
+	if !r.Insert(Word{SN: 0}) {
+		t.Fatal("in-order word rejected under backpressure")
+	}
+}
+
+// TestRxReorderPropertyRandomPermutation: any arrival permutation releases
+// 0..n-1 exactly once, in order.
+func TestRxReorderPropertyRandomPermutation(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%30) + 1
+		perm := rand.New(rand.NewSource(seed)).Perm(n)
+		r := NewRxReorder(n)
+		var got []Word
+		for _, sn := range perm {
+			if !r.Insert(Word{SN: uint16(sn)}) {
+				return false
+			}
+			got = append(got, r.Drain()...)
+		}
+		if len(got) != n || r.Pending() != 0 {
+			return false
+		}
+		for i, w := range got {
+			if w.SN != uint16(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTable4Shape checks the estimator reproduces the paper's relations.
+func TestTable4Shape(t *testing.T) {
+	reports := Table4()
+	if len(reports) != 4 {
+		t.Fatalf("Table 4 has %d rows, want 4", len(reports))
+	}
+	rx, tx, reg, het := reports[0], reports[1], reports[2], reports[3]
+
+	// Adapters are small and fast.
+	if rx.AreaUM2 >= reg.AreaUM2 || tx.AreaUM2 >= reg.AreaUM2 {
+		t.Error("adapters must be smaller than the router")
+	}
+	if rx.FreqGHz < 1.7 || tx.FreqGHz < 1.7 {
+		t.Errorf("adapters should run near 1.85 GHz, got %.2f / %.2f", rx.FreqGHz, tx.FreqGHz)
+	}
+	// The TX multi-port queue costs more area than the RX FIFO.
+	if tx.AreaUM2 <= rx.AreaUM2 {
+		t.Error("3-port TX queue should out-area the single-port RX FIFO")
+	}
+
+	// Hetero router: ≈ +45% area, +33% power, frequency barely affected.
+	areaRatio := het.AreaUM2 / reg.AreaUM2
+	powerRatio := het.PowerMW / reg.PowerMW
+	freqRatio := het.FreqGHz / reg.FreqGHz
+	if areaRatio < 1.3 || areaRatio > 1.6 {
+		t.Errorf("hetero/regular area ratio %.2f, want ≈1.45 (Table 4)", areaRatio)
+	}
+	if powerRatio < 1.2 || powerRatio > 1.5 {
+		t.Errorf("hetero/regular power ratio %.2f, want ≈1.33 (Table 4)", powerRatio)
+	}
+	if freqRatio < 0.9 || freqRatio > 1.05 {
+		t.Errorf("hetero/regular frequency ratio %.2f, want ≈0.97 (Table 4)", freqRatio)
+	}
+	// Routers are slower than adapters (bigger critical path).
+	if reg.FreqGHz >= rx.FreqGHz {
+		t.Error("router should clock slower than the adapter FIFO")
+	}
+}
+
+func TestEstimateScalesWithStructure(t *testing.T) {
+	tech := TSMC12()
+	small := Module{Name: "s", StorageBits: 512, RWPorts: 1, ControlGates: 100, ActiveBitsPerCycle: 64, MuxFanIn: 4}
+	big := small
+	big.StorageBits = 4096
+	if big.Estimate(tech).AreaUM2 <= small.Estimate(tech).AreaUM2 {
+		t.Error("area must grow with storage")
+	}
+	multi := small
+	multi.RWPorts = 4
+	if multi.Estimate(tech).AreaUM2 <= small.Estimate(tech).AreaUM2 {
+		t.Error("area must grow with ports")
+	}
+	wide := small
+	wide.MuxFanIn = 64
+	if wide.Estimate(tech).FreqGHz >= small.Estimate(tech).FreqGHz {
+		t.Error("frequency must drop with mux fan-in")
+	}
+}

@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func sample(created, injected, arrived int64, length int) Measured {
+	return Measured{
+		CreatedAt: created, InjectedAt: injected, ArrivedAt: arrived,
+		Length: length,
+	}
+}
+
+func TestWarmupFiltering(t *testing.T) {
+	c := &Collector{Warmup: 100}
+	c.Record(sample(99, 99, 150, 4))   // created during warm-up: ignored
+	c.Record(sample(100, 101, 160, 4)) // measured
+	if c.Count() != 1 {
+		t.Fatalf("count = %d, want 1", c.Count())
+	}
+	if got := c.MeanLatency(); got != 60 {
+		t.Fatalf("mean latency = %v, want 60", got)
+	}
+	if got := c.MeanNetLatency(); got != 59 {
+		t.Fatalf("mean net latency = %v, want 59", got)
+	}
+}
+
+func TestEmptyCollectorNaN(t *testing.T) {
+	c := &Collector{}
+	if !math.IsNaN(c.MeanLatency()) || !math.IsNaN(c.MeanEnergyPJ()) || !math.IsNaN(c.LatencyVariance()) {
+		t.Error("empty collector should report NaN means")
+	}
+	if c.Percentile(0.99) != 0 || c.Throughput(100, 4) != 0 {
+		t.Error("empty collector percentile/throughput should be 0")
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	c := &Collector{}
+	for i := 0; i < 10; i++ {
+		c.Record(sample(int64(i), int64(i), int64(i+20), 16))
+	}
+	// 160 flits over 100 cycles and 4 nodes = 0.4 flits/cycle/node.
+	if got := c.Throughput(100, 4); got != 0.4 {
+		t.Fatalf("throughput = %v, want 0.4", got)
+	}
+}
+
+func TestPercentilesAndVariance(t *testing.T) {
+	c := &Collector{}
+	for i := 1; i <= 100; i++ {
+		c.Record(sample(0, 0, int64(i), 1))
+	}
+	if got := c.Percentile(0.5); got < 49 || got > 52 {
+		t.Fatalf("p50 = %d", got)
+	}
+	if got := c.Percentile(0.99); got < 99 {
+		t.Fatalf("p99 = %d", got)
+	}
+	if got := c.Percentile(0); got != 1 {
+		t.Fatalf("p0 = %d, want 1", got)
+	}
+	mean := c.MeanLatency()
+	if math.Abs(mean-50.5) > 1e-9 {
+		t.Fatalf("mean = %v", mean)
+	}
+	// Var of 1..100 = (100²−1)/12 = 833.25.
+	if got := c.LatencyVariance(); math.Abs(got-833.25) > 0.1 {
+		t.Fatalf("variance = %v, want 833.25", got)
+	}
+	if got := c.LatencyStdDev(); math.Abs(got-math.Sqrt(833.25)) > 0.01 {
+		t.Fatalf("stddev = %v", got)
+	}
+}
+
+func TestEnergyAndHops(t *testing.T) {
+	c := &Collector{}
+	c.Record(Measured{ArrivedAt: 10, Length: 2, EnergyPJ: 100, EnergyOnChipPJ: 30, EnergyIfacePJ: 70,
+		HopsOnChip: 3, HopsParallel: 1, HopsSerial: 2, HopsHetero: 1})
+	c.Record(Measured{ArrivedAt: 20, Length: 2, EnergyPJ: 200, EnergyOnChipPJ: 60, EnergyIfacePJ: 140,
+		HopsOnChip: 5, HopsParallel: 1, HopsSerial: 0, HopsHetero: 3})
+	if got := c.MeanEnergyPJ(); got != 150 {
+		t.Fatalf("mean energy = %v", got)
+	}
+	on, iface := c.MeanEnergyBreakdownPJ()
+	if on != 45 || iface != 105 {
+		t.Fatalf("breakdown = %v/%v, want 45/105", on, iface)
+	}
+	oc, pa, se, he := c.MeanHops()
+	if oc != 4 || pa != 1 || se != 1 || he != 2 {
+		t.Fatalf("hops = %v %v %v %v", oc, pa, se, he)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := &Collector{Warmup: 7}
+	c.Record(sample(10, 10, 20, 1))
+	c.Reset()
+	if c.Count() != 0 || c.Warmup != 7 {
+		t.Fatalf("reset lost state: count=%d warmup=%d", c.Count(), c.Warmup)
+	}
+}
+
+// TestPercentileMatchesSortProperty: percentile agrees with a direct sort.
+func TestPercentileMatchesSortProperty(t *testing.T) {
+	f := func(lats []uint16, qRaw uint8) bool {
+		if len(lats) == 0 {
+			return true
+		}
+		q := float64(qRaw) / 255
+		c := &Collector{}
+		var ref []int64
+		for _, l := range lats {
+			c.Record(sample(0, 0, int64(l), 1))
+			ref = append(ref, int64(l))
+		}
+		sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+		want := ref[int(q*float64(len(ref)-1))]
+		return c.Percentile(q) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassStatistics(t *testing.T) {
+	c := &Collector{}
+	for i := 1; i <= 10; i++ {
+		m := sample(0, 0, int64(i*10), 1)
+		m.Class = 2 // latency-sensitive
+		c.Record(m)
+	}
+	m := sample(0, 0, 1000, 1)
+	m.Class = 3
+	c.Record(m)
+
+	if got := c.ClassCount(2); got != 10 {
+		t.Fatalf("class 2 count = %d", got)
+	}
+	if got := c.ClassMeanLatency(2); got != 55 {
+		t.Fatalf("class 2 mean = %v, want 55", got)
+	}
+	if got := c.ClassPercentile(2, 1.0); got != 100 {
+		t.Fatalf("class 2 p100 = %d, want 100", got)
+	}
+	if got := c.ClassPercentile(2, 0); got != 10 {
+		t.Fatalf("class 2 p0 = %d, want 10", got)
+	}
+	if got := c.ClassMeanLatency(3); got != 1000 {
+		t.Fatalf("class 3 mean = %v", got)
+	}
+	// Unused and out-of-range classes degrade gracefully.
+	if c.ClassCount(7) != 0 || c.ClassCount(200) != 0 {
+		t.Error("empty class counts wrong")
+	}
+	if !math.IsNaN(c.ClassMeanLatency(7)) || !math.IsNaN(c.ClassMeanLatency(250)) {
+		t.Error("empty class means should be NaN")
+	}
+	if c.ClassPercentile(7, 0.5) != 0 || c.ClassPercentile(250, 0.5) != 0 {
+		t.Error("empty class percentiles should be 0")
+	}
+	// The overall mean covers every class.
+	if got := c.MeanLatency(); math.Abs(got-(55*10+1000)/11.0) > 1e-9 {
+		t.Fatalf("overall mean = %v", got)
+	}
+}

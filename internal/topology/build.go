@@ -1,0 +1,174 @@
+package topology
+
+import (
+	"fmt"
+
+	"heteroif/internal/core"
+	"heteroif/internal/network"
+)
+
+// Build constructs the network for a system specification. The returned
+// network has no routing algorithm attached yet; callers pair it with the
+// matching algorithm from internal/routing and then call Finalize.
+func Build(cfg network.Config, spec Spec) (*network.Network, *Topo, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, nil, err
+	}
+	net, err := network.New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := &Topo{
+		Spec: spec,
+		GX:   spec.ChipletsX * spec.NodesX,
+		GY:   spec.ChipletsY * spec.NodesY,
+	}
+	t.N = t.GX * t.GY
+	net.AddNodes(t.N)
+	t.OutPorts = make([][]PortInfo, t.N)
+	for i := range t.OutPorts {
+		// Entry 0 is the local ejection port.
+		t.OutPorts[i] = append(t.OutPorts[i], PortInfo{Dest: -1, Kind: network.KindLocal, CubeDim: -1})
+	}
+
+	b := builder{net: net, t: t}
+
+	// Intra-chiplet 2D meshes.
+	for gy := 0; gy < t.GY; gy++ {
+		for gx := 0; gx < t.GX; gx++ {
+			if gx+1 < t.GX && (gx+1)%spec.NodesX != 0 {
+				b.connectBoth(network.KindOnChip, t.NodeAt(gx, gy), t.NodeAt(gx+1, gy), -1, false, nil)
+			}
+			if gy+1 < t.GY && (gy+1)%spec.NodesY != 0 {
+				b.connectBoth(network.KindOnChip, t.NodeAt(gx, gy), t.NodeAt(gx, gy+1), -1, false, nil)
+			}
+		}
+	}
+
+	switch spec.System {
+	case UniformParallelMesh:
+		b.neighborLinks(network.KindParallel, nil)
+	case UniformSerialTorus:
+		b.neighborLinks(network.KindSerial, nil)
+		b.wraparounds(network.KindSerial)
+	case HeteroPHYTorus:
+		pol := spec.Policy
+		if pol == nil {
+			pol = core.Balanced{}
+		}
+		b.neighborLinks(network.KindHeteroPHY, pol)
+		b.wraparounds(network.KindSerial)
+	case UniformSerialHypercube:
+		if err := b.hypercube(network.KindSerial); err != nil {
+			return nil, nil, err
+		}
+	case HeteroChannel:
+		b.neighborLinks(network.KindParallel, nil)
+		if err := b.hypercube(network.KindSerial); err != nil {
+			return nil, nil, err
+		}
+	default:
+		return nil, nil, fmt.Errorf("topology: unknown system %v", spec.System)
+	}
+
+	return net, t, nil
+}
+
+type builder struct {
+	net *network.Network
+	t   *Topo
+}
+
+// connectBoth wires a bidirectional channel (two unidirectional links)
+// between a and b and records port metadata. For hetero-PHY kinds each
+// direction gets its own adapter with the given policy.
+func (b *builder) connectBoth(kind network.LinkKind, a, c network.NodeID, cubeDim int8, wrap bool, pol core.Policy) {
+	b.connectOne(kind, a, c, cubeDim, wrap, pol)
+	b.connectOne(kind, c, a, cubeDim, wrap, pol)
+}
+
+func (b *builder) connectOne(kind network.LinkKind, from, to network.NodeID, cubeDim int8, wrap bool, pol core.Policy) {
+	l := b.net.Connect(kind, from, to)
+	if kind == network.KindHeteroPHY {
+		ad := core.NewHeteroPHYAdapter(&b.net.Cfg, pol)
+		b.net.SetAdapter(l, ad)
+		b.t.Adapters = append(b.t.Adapters, ad)
+	}
+	ports := &b.t.OutPorts[from]
+	for len(*ports) <= l.SrcPort {
+		*ports = append(*ports, PortInfo{Dest: -1, CubeDim: -1})
+	}
+	(*ports)[l.SrcPort] = PortInfo{Dest: to, Kind: kind, CubeDim: cubeDim, Wrap: wrap}
+}
+
+// neighborLinks wires every boundary-adjacent node pair between adjacent
+// chiplets, making the system one global 2D mesh.
+func (b *builder) neighborLinks(kind network.LinkKind, pol core.Policy) {
+	t := b.t
+	for gy := 0; gy < t.GY; gy++ {
+		for gx := 0; gx < t.GX; gx++ {
+			if gx+1 < t.GX && (gx+1)%t.NodesX == 0 {
+				b.connectBoth(kind, t.NodeAt(gx, gy), t.NodeAt(gx+1, gy), -1, false, pol)
+			}
+			if gy+1 < t.GY && (gy+1)%t.NodesY == 0 {
+				b.connectBoth(kind, t.NodeAt(gx, gy), t.NodeAt(gx, gy+1), -1, false, pol)
+			}
+		}
+	}
+}
+
+// wraparounds closes every global row and column into a ring (serial
+// long-reach links between the outermost chiplet columns/rows). Rings of
+// length ≤ 2 would duplicate an existing neighbor link and are skipped.
+func (b *builder) wraparounds(kind network.LinkKind) {
+	t := b.t
+	if t.GX > 2 && t.ChipletsX > 1 {
+		for gy := 0; gy < t.GY; gy++ {
+			b.connectBoth(kind, t.NodeAt(t.GX-1, gy), t.NodeAt(0, gy), -1, true, nil)
+		}
+	}
+	if t.GY > 2 && t.ChipletsY > 1 {
+		for gx := 0; gx < t.GX; gx++ {
+			b.connectBoth(kind, t.NodeAt(gx, t.GY-1), t.NodeAt(gx, 0), -1, true, nil)
+		}
+	}
+}
+
+// hypercube wires the chiplets into a hypercube following the method of
+// Feng et al. [30]: every edge node carries a serial interface (Fig. 9a,
+// "interfaces all around"), and edge node j of chiplet c links to edge
+// node j of chiplet c XOR 2^(j mod d). Each dimension thus gets
+// ⌈perimeter/d⌉ parallel cube links spread around the chiplet boundary,
+// which both multiplies cube bandwidth and avoids funneling all off-chip
+// traffic through a single on-chip hotspot.
+func (b *builder) hypercube(kind network.LinkKind) error {
+	t := b.t
+	nChiplets := t.ChipletsX * t.ChipletsY
+	d := dims(nChiplets)
+	t.CubeDims = d
+	if d == 0 {
+		return nil
+	}
+	edges := t.edgeNodesLocal()
+	if d > len(edges) {
+		return fmt.Errorf("topology: %d cube dimensions exceed %d edge nodes", d, len(edges))
+	}
+	t.CubePorts = make([][]network.NodeID, nChiplets*d)
+	nodeAtEdge := func(c, j int) network.NodeID {
+		ox, oy := t.ChipletOrigin(c)
+		e := edges[j]
+		return t.NodeAt(ox+e[0], oy+e[1])
+	}
+	for c := 0; c < nChiplets; c++ {
+		for j := range edges {
+			dim := j % d
+			t.CubePorts[c*d+dim] = append(t.CubePorts[c*d+dim], nodeAtEdge(c, j))
+			peer := c ^ (1 << dim)
+			if peer < c {
+				continue // wire each pair once
+			}
+			b.connectBoth(kind, nodeAtEdge(c, j), nodeAtEdge(peer, j), int8(dim), false, nil)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package topology
+
+import (
+	"fmt"
+	"strings"
+
+	"heteroif/internal/network"
+)
+
+// Describe renders a human-readable summary of a built system: the chiplet
+// grid, per-kind link counts, interface-node placement and the hypercube
+// wiring. cmd/hetsim uses it for custom runs; it is also handy in tests
+// and bug reports.
+func (t *Topo) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d×%d chiplets of %d×%d nodes (%d nodes, %d×%d global grid)\n",
+		t.System, t.ChipletsX, t.ChipletsY, t.NodesX, t.NodesY, t.N, t.GX, t.GY)
+
+	counts := map[network.LinkKind]int{}
+	dead := 0
+	for _, ports := range t.OutPorts {
+		for i := 1; i < len(ports); i++ {
+			p := &ports[i]
+			if p.Dest < 0 {
+				continue
+			}
+			counts[p.Kind]++
+			if p.Dead {
+				dead++
+			}
+		}
+	}
+	fmt.Fprintf(&b, "links: ")
+	for _, k := range []network.LinkKind{network.KindOnChip, network.KindParallel, network.KindSerial, network.KindHeteroPHY} {
+		if counts[k] > 0 {
+			fmt.Fprintf(&b, "%d %s  ", counts[k], k)
+		}
+	}
+	if dead > 0 {
+		fmt.Fprintf(&b, "(%d failed)", dead)
+	}
+	fmt.Fprintln(&b)
+
+	if t.CubeDims > 0 {
+		fmt.Fprintf(&b, "hypercube: %d dimensions, links per (chiplet,dim):", t.CubeDims)
+		for d := 0; d < t.CubeDims; d++ {
+			fmt.Fprintf(&b, " dim%d=%d", d, len(t.CubeLinkNodes(0, d)))
+		}
+		fmt.Fprintln(&b)
+	}
+	if len(t.Adapters) > 0 {
+		fmt.Fprintf(&b, "hetero-PHY adapters: %d (%s scheduling)\n", len(t.Adapters), t.Adapters[0].Policy().Name())
+	}
+	return b.String()
+}

@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"fmt"
+
+	"heteroif/internal/network"
+)
+
+// Replayer injects a trace into a network. Packets enter the source queue
+// at their trace time regardless of congestion ("all packets are injected
+// according to the trace time even if queuing occurs", Sec. 7.2), so
+// queueing shows up as latency rather than as lost offered load.
+type Replayer struct {
+	Trace *Trace
+	Net   *network.Network
+	// Map translates rank → node. It must cover [0, Trace.Ranks).
+	Map []network.NodeID
+	// Speedup compresses trace time: injection time = Time/Speedup. The
+	// Fig. 13/15 injection-rate sweeps scale the same trace to different
+	// offered loads. Zero means 1.0.
+	Speedup float64
+
+	// MeasureFrom is the warm-up boundary: offered-load accounting starts
+	// at this cycle so it compares like-for-like with the statistics
+	// collector's measurement window.
+	MeasureFrom int64
+
+	idx int
+	// offeredFlits counts flits actually offered (rank-colocated sends on
+	// wrapped mappings are skipped).
+	offeredFlits int64
+}
+
+// NewReplayer validates the mapping and returns a replayer.
+func NewReplayer(t *Trace, net *network.Network, m []network.NodeID, speedup float64) (*Replayer, error) {
+	if len(m) < int(t.Ranks) {
+		return nil, fmt.Errorf("trace: mapping covers %d ranks, trace %s needs %d", len(m), t.Name, t.Ranks)
+	}
+	for r, n := range m[:t.Ranks] {
+		if int(n) < 0 || int(n) >= len(net.Nodes) {
+			return nil, fmt.Errorf("trace: rank %d maps to invalid node %d", r, n)
+		}
+	}
+	if speedup <= 0 {
+		speedup = 1
+	}
+	return &Replayer{Trace: t, Net: net, Map: m, Speedup: speedup}, nil
+}
+
+// OfferedRate returns the nominal replayed load in flits/cycle/node for a
+// network of n nodes (the whole trace, time-compressed).
+func (r *Replayer) OfferedRate(n int) float64 {
+	cycles := float64(r.Trace.Cycles) / r.Speedup
+	if cycles == 0 || n == 0 {
+		return 0
+	}
+	return float64(r.Trace.TotalFlits()) / cycles / float64(n)
+}
+
+// ActualOfferedRate returns the load actually offered inside the
+// measurement window ending at cycle `now`: rank-colocated records
+// (possible when the mapping wraps) and warm-up traffic are excluded, so
+// saturation checks compare like with like.
+func (r *Replayer) ActualOfferedRate(now int64, n int) float64 {
+	window := now - r.MeasureFrom
+	if window <= 0 || n == 0 {
+		return 0
+	}
+	return float64(r.offeredFlits) / float64(window) / float64(n)
+}
+
+// Drive implements the per-cycle injection callback for network.Run.
+func (r *Replayer) Drive(now int64) {
+	recs := r.Trace.Records
+	for r.idx < len(recs) {
+		rec := &recs[r.idx]
+		when := int64(float64(rec.Time) / r.Speedup)
+		if when > now {
+			return
+		}
+		src, dst := r.Map[rec.Src], r.Map[rec.Dst]
+		if src != dst {
+			p := r.Net.NewPacket(src, dst, int(rec.Flits), now)
+			p.Class = network.Class(rec.Class)
+			r.Net.Offer(p)
+			if now >= r.MeasureFrom {
+				r.offeredFlits += int64(rec.Flits)
+			}
+		}
+		r.idx++
+	}
+}
+
+// Done reports whether every record has been offered.
+func (r *Replayer) Done() bool { return r.idx >= len(r.Trace.Records) }
+
+// LinearMap maps rank i to node i (row-major), the mapping used for the
+// hetero-PHY trace experiments where ranks ≤ nodes.
+func LinearMap(ranks, nodes int) ([]network.NodeID, error) {
+	if ranks > nodes {
+		return nil, fmt.Errorf("trace: %d ranks exceed %d nodes", ranks, nodes)
+	}
+	m := make([]network.NodeID, ranks)
+	for i := range m {
+		m[i] = network.NodeID(i)
+	}
+	return m, nil
+}

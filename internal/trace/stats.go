@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Stats characterizes a trace's communication structure, the quantities
+// trace-driven NoC studies report (packet-size mix, temporal burstiness,
+// spatial concentration). cmd/tracegen prints them; tests use them to pin
+// the synthetic generators to their intended shapes.
+type Stats struct {
+	Packets     int
+	Flits       int64
+	OfferedRate float64 // flits/cycle/rank
+
+	// SizeHistogram maps packet length (flits) → count.
+	SizeHistogram map[int32]int
+
+	// Burstiness is the coefficient of variation (σ/μ) of packet counts
+	// over fixed time windows; ≈1 for Poisson, >1 for bursty traffic.
+	Burstiness float64
+
+	// UniquePairs counts distinct (src,dst) pairs; PairCoverage divides by
+	// all possible ordered pairs.
+	UniquePairs  int
+	PairCoverage float64
+
+	// TopPairShare is the traffic share of the busiest 1% of pairs, a
+	// hotspot measure.
+	TopPairShare float64
+
+	// ActiveRanks counts ranks that send at least one packet.
+	ActiveRanks int
+}
+
+// ComputeStats analyzes a trace with the given burstiness window (cycles;
+// 0 picks duration/1000).
+func (t *Trace) ComputeStats(window int64) Stats {
+	s := Stats{
+		Packets:       len(t.Records),
+		Flits:         t.TotalFlits(),
+		OfferedRate:   t.OfferedRate(),
+		SizeHistogram: make(map[int32]int),
+	}
+	if len(t.Records) == 0 {
+		return s
+	}
+	if window <= 0 {
+		window = t.Cycles / 1000
+		if window <= 0 {
+			window = 1
+		}
+	}
+
+	// Windowed counts for burstiness.
+	nWin := int(t.Cycles/window) + 1
+	counts := make([]float64, nWin)
+	pairCount := make(map[uint64]int)
+	senders := make(map[int32]bool)
+	for i := range t.Records {
+		r := &t.Records[i]
+		s.SizeHistogram[r.Flits]++
+		w := int(r.Time / window)
+		if w < nWin {
+			counts[w]++
+		}
+		pairCount[uint64(r.Src)<<32|uint64(uint32(r.Dst))]++
+		senders[r.Src] = true
+	}
+	mean, varsum := 0.0, 0.0
+	for _, c := range counts {
+		mean += c
+	}
+	mean /= float64(nWin)
+	for _, c := range counts {
+		varsum += (c - mean) * (c - mean)
+	}
+	if mean > 0 {
+		s.Burstiness = math.Sqrt(varsum/float64(nWin)) / mean
+	}
+
+	s.UniquePairs = len(pairCount)
+	all := int(t.Ranks) * (int(t.Ranks) - 1)
+	if all > 0 {
+		s.PairCoverage = float64(s.UniquePairs) / float64(all)
+	}
+	s.ActiveRanks = len(senders)
+
+	// Busiest 1% of pairs.
+	loads := make([]int, 0, len(pairCount))
+	for _, c := range pairCount {
+		loads = append(loads, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(loads)))
+	top := len(loads) / 100
+	if top < 1 {
+		top = 1
+	}
+	topSum := 0
+	for _, c := range loads[:top] {
+		topSum += c
+	}
+	s.TopPairShare = float64(topSum) / float64(len(t.Records))
+	return s
+}
+
+// String renders the statistics block.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "packets:      %d (%d flits, %.4f flits/cycle/rank)\n", s.Packets, s.Flits, s.OfferedRate)
+	var sizes []int32
+	for k := range s.SizeHistogram {
+		sizes = append(sizes, k)
+	}
+	sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
+	fmt.Fprintf(&b, "sizes:       ")
+	for _, k := range sizes {
+		fmt.Fprintf(&b, " %d-flit×%d", k, s.SizeHistogram[k])
+	}
+	fmt.Fprintf(&b, "\nburstiness:   %.2f (σ/μ of windowed counts; 1.0 ≈ Poisson)\n", s.Burstiness)
+	fmt.Fprintf(&b, "pairs:        %d unique (%.1f%% coverage), top 1%% carry %.1f%%\n",
+		s.UniquePairs, 100*s.PairCoverage, 100*s.TopPairShare)
+	fmt.Fprintf(&b, "active ranks: %d\n", s.ActiveRanks)
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStatsEmptyTrace(t *testing.T) {
+	tr := &Trace{Name: "empty", Ranks: 8, Cycles: 100}
+	s := tr.ComputeStats(0)
+	if s.Packets != 0 || s.Burstiness != 0 || s.ActiveRanks != 0 {
+		t.Fatalf("empty trace produced stats %+v", s)
+	}
+}
+
+func TestStatsSizeHistogram(t *testing.T) {
+	tr, _ := GeneratePARSEC("dedup", 4000, 1)
+	s := tr.ComputeStats(0)
+	if len(s.SizeHistogram) != 2 {
+		t.Fatalf("PARSEC size histogram has %d entries, want 2 (1-flit and 9-flit)", len(s.SizeHistogram))
+	}
+	if s.SizeHistogram[1] == 0 || s.SizeHistogram[9] == 0 {
+		t.Fatalf("histogram missing a mode: %v", s.SizeHistogram)
+	}
+	if s.ActiveRanks != 64 {
+		t.Fatalf("active ranks = %d, want 64", s.ActiveRanks)
+	}
+}
+
+func TestStatsBurstinessOrdering(t *testing.T) {
+	// CNS is a bulk-synchronous halo exchange — strongly bursty; a
+	// uniformly spread trace over the same span must measure much lower.
+	cns := GenerateCNS(50000, 1).ComputeStats(200)
+
+	flat := &Trace{Name: "flat", Ranks: 1024, Cycles: 50000}
+	for i := 0; i < 50000; i += 2 {
+		flat.Records = append(flat.Records, Record{
+			Time: int64(i), Src: int32(i % 1024), Dst: int32((i + 7) % 1024), Flits: 16,
+		})
+	}
+	flatStats := flat.ComputeStats(200)
+	if cns.Burstiness <= 2*flatStats.Burstiness {
+		t.Fatalf("CNS burstiness %.2f should far exceed a flat trace's %.2f",
+			cns.Burstiness, flatStats.Burstiness)
+	}
+}
+
+func TestStatsPairStructure(t *testing.T) {
+	// CNS pairs are only grid neighbors: coverage must be far below 1%
+	// of all 1024×1023 pairs, and well-defined.
+	s := GenerateCNS(30000, 1).ComputeStats(0)
+	if s.PairCoverage > 0.01 {
+		t.Fatalf("CNS pair coverage %.4f too broad for a stencil", s.PairCoverage)
+	}
+	if s.UniquePairs == 0 || s.TopPairShare <= 0 {
+		t.Fatalf("degenerate pair stats: %+v", s)
+	}
+	// MOC reaches farther: more unique pairs than CNS per packet.
+	moc := GenerateMOC(30000, 1).ComputeStats(0)
+	if moc.UniquePairs <= s.UniquePairs {
+		t.Fatalf("MOC unique pairs %d should exceed CNS %d (long-range characteristics)",
+			moc.UniquePairs, s.UniquePairs)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	tr, _ := GeneratePARSEC("vips", 2000, 1)
+	out := tr.ComputeStats(0).String()
+	for _, want := range []string{"packets:", "burstiness:", "pairs:", "active ranks:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats rendering missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+// Package trace provides the trace-driven workload substrate of Sec. 7.2:
+// a packet-trace format with binary serialization, a replayer that injects
+// packets at their trace times ("even if queuing occurs"), and synthetic
+// generators standing in for the paper's external trace artifacts:
+//
+//   - Netrace PARSEC traces [33]: 64-rank CMP coherence traffic with the
+//     documented bimodal packet sizes (8-byte/1-flit control+request
+//     packets and 72-byte/9-flit data packets). We model each workload as
+//     a request–reply memory-system process with per-workload rate,
+//     locality and burstiness profiles.
+//   - NERSC/dumpi Hopper traces [1, 12]: 1024-rank MPI communication, with
+//     CNS as a 3D compressible Navier–Stokes halo exchange (bulk
+//     nearest-neighbor messages per timestep) and MOC as a 3D
+//     method-of-characteristics sweep (pipelined wavefront plus long-range
+//     angular messages), each generating more than one million packets.
+//
+// The substitution preserves what the experiments consume: a fixed packet
+// stream (time, source, destination, length) replayed identically against
+// every network under comparison. See DESIGN.md §4.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+)
+
+// Record is one packet in a trace. Times are in cycles; Src/Dst are ranks
+// (not nodes — the replayer maps ranks onto network nodes).
+type Record struct {
+	Time  int64
+	Src   int32
+	Dst   int32
+	Flits int32
+	Class uint8
+}
+
+// Trace is a named, time-sorted packet stream over a rank space.
+type Trace struct {
+	Name    string
+	Ranks   int32
+	Cycles  int64 // trace duration
+	Records []Record
+}
+
+// TotalFlits returns the number of flits in the trace.
+func (t *Trace) TotalFlits() int64 {
+	var n int64
+	for i := range t.Records {
+		n += int64(t.Records[i].Flits)
+	}
+	return n
+}
+
+// OfferedRate returns the trace's average offered load in
+// flits/cycle/rank.
+func (t *Trace) OfferedRate() float64 {
+	if t.Cycles == 0 || t.Ranks == 0 {
+		return 0
+	}
+	return float64(t.TotalFlits()) / float64(t.Cycles) / float64(t.Ranks)
+}
+
+// sortRecords time-sorts the records (stable, preserving generation order
+// within a cycle).
+func (t *Trace) sortRecords() {
+	sort.SliceStable(t.Records, func(i, j int) bool { return t.Records[i].Time < t.Records[j].Time })
+}
+
+// Validate checks rank bounds and time ordering.
+func (t *Trace) Validate() error {
+	last := int64(0)
+	for i := range t.Records {
+		r := &t.Records[i]
+		if r.Src < 0 || r.Src >= t.Ranks || r.Dst < 0 || r.Dst >= t.Ranks {
+			return fmt.Errorf("trace %s: record %d has rank out of range [0,%d): src=%d dst=%d", t.Name, i, t.Ranks, r.Src, r.Dst)
+		}
+		if r.Src == r.Dst {
+			return fmt.Errorf("trace %s: record %d has src == dst == %d", t.Name, i, r.Src)
+		}
+		if r.Flits <= 0 {
+			return fmt.Errorf("trace %s: record %d has non-positive length %d", t.Name, i, r.Flits)
+		}
+		if r.Time < last {
+			return fmt.Errorf("trace %s: record %d out of time order (%d < %d)", t.Name, i, r.Time, last)
+		}
+		last = r.Time
+	}
+	return nil
+}
+
+const magic = "HIFTRC01"
+
+// Write serializes the trace in the library's binary format.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	name := []byte(t.Name)
+	if err := binary.Write(bw, binary.LittleEndian, int32(len(name))); err != nil {
+		return err
+	}
+	if _, err := bw.Write(name); err != nil {
+		return err
+	}
+	hdr := []any{t.Ranks, t.Cycles, int64(len(t.Records))}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for i := range t.Records {
+		r := &t.Records[i]
+		if err := binary.Write(bw, binary.LittleEndian, r.Time); err != nil {
+			return err
+		}
+		rest := []any{r.Src, r.Dst, r.Flits, r.Class}
+		for _, v := range rest {
+			if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a trace written by Write.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	m := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, m); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(m) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", m)
+	}
+	var nameLen int32
+	if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+		return nil, err
+	}
+	if nameLen < 0 || nameLen > 4096 {
+		return nil, fmt.Errorf("trace: unreasonable name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	t := &Trace{Name: string(name)}
+	var count int64
+	if err := binary.Read(br, binary.LittleEndian, &t.Ranks); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &t.Cycles); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	if count < 0 || count > 1<<31 {
+		return nil, fmt.Errorf("trace: unreasonable record count %d", count)
+	}
+	t.Records = make([]Record, count)
+	for i := range t.Records {
+		r := &t.Records[i]
+		if err := binary.Read(br, binary.LittleEndian, &r.Time); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &r.Src); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &r.Dst); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &r.Flits); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &r.Class); err != nil {
+			return nil, err
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// rng returns a deterministic source for a generator.
+func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

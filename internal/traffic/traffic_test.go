@@ -1,0 +1,239 @@
+package traffic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"heteroif/internal/network"
+)
+
+func TestUniformNeverSelf(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	u := Uniform{}
+	for i := 0; i < 10000; i++ {
+		src := rng.Intn(64)
+		d := u.Dest(rng, src, 64)
+		if d == src || d < 0 || d >= 64 {
+			t.Fatalf("uniform dest %d for src %d", d, src)
+		}
+	}
+}
+
+func TestUniformCoversAllDestinations(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	u := Uniform{}
+	seen := make(map[int]bool)
+	for i := 0; i < 5000; i++ {
+		seen[u.Dest(rng, 0, 16)] = true
+	}
+	if len(seen) != 15 {
+		t.Fatalf("uniform from node 0 reached %d of 15 destinations", len(seen))
+	}
+}
+
+func TestHotspotRestrictsPairs(t *testing.T) {
+	h := NewHotspot(100, 0.10, 42)
+	rng := rand.New(rand.NewSource(3))
+	for src := 0; src < 100; src++ {
+		if got := len(h.pairs[src]); got != 10 {
+			t.Fatalf("src %d has %d allowed destinations, want 10%% of 99 → 10", src, got)
+		}
+		allowed := map[int]bool{}
+		for _, d := range h.pairs[src] {
+			if d == src || d < 0 || d >= 100 {
+				t.Fatalf("src %d has invalid pair destination %d", src, d)
+			}
+			allowed[d] = true
+		}
+		for i := 0; i < 50; i++ {
+			if d := h.Dest(rng, src, 100); !allowed[d] {
+				t.Fatalf("src %d sent outside its pair set: %d", src, d)
+			}
+		}
+	}
+	if Participants(h, 100) != 100 {
+		t.Fatal("every node participates in hotspot traffic")
+	}
+}
+
+func TestParticipants(t *testing.T) {
+	if got := Participants(Uniform{}, 64); got != 64 {
+		t.Fatalf("uniform participants = %d", got)
+	}
+	// bit-complement on 256 nodes: no fixed points → all participate.
+	if got := Participants(BitComplement(), 256); got != 256 {
+		t.Fatalf("complement participants = %d", got)
+	}
+	// 3136 nodes: only the embedded 2048 can participate.
+	if got := Participants(BitReverse(), 3136); got > 2048 || got == 0 {
+		t.Fatalf("reverse participants on 3136 = %d", got)
+	}
+}
+
+// permutation patterns are involutions or bijections on the 2^b space;
+// every pattern must be a valid permutation.
+func TestBitPatternsArePermutations(t *testing.T) {
+	for _, p := range []*BitPermutation{BitShuffle(), BitComplement(), BitTranspose(), BitReverse()} {
+		n := 256
+		seen := make(map[int]bool)
+		self := 0
+		for src := 0; src < n; src++ {
+			d := p.Dest(nil, src, n)
+			if d == -1 {
+				self++ // fixed point: node does not inject
+				continue
+			}
+			if d < 0 || d >= n {
+				t.Fatalf("%s: dest %d out of range", p.Name(), d)
+			}
+			if seen[d] {
+				t.Fatalf("%s: dest %d hit twice", p.Name(), d)
+			}
+			seen[d] = true
+		}
+		if len(seen) == 0 {
+			t.Fatalf("%s: produced no traffic", p.Name())
+		}
+	}
+}
+
+func TestBitComplementIsInvolution(t *testing.T) {
+	p := BitComplement()
+	for src := 0; src < 256; src++ {
+		d := p.Dest(nil, src, 256)
+		if d == -1 {
+			continue
+		}
+		if back := p.Dest(nil, d, 256); back != src {
+			t.Fatalf("complement(complement(%d)) = %d", src, back)
+		}
+	}
+}
+
+func TestBitReverseMatchesDefinition(t *testing.T) {
+	p := BitReverse()
+	// b=8: reverse of 0b00000001 is 0b10000000.
+	if d := p.Dest(nil, 1, 256); d != 128 {
+		t.Fatalf("reverse(1) = %d, want 128", d)
+	}
+	if d := p.Dest(nil, 0b00001111, 256); d != 0b11110000 {
+		t.Fatalf("reverse(0x0F) = %#x, want 0xF0", d)
+	}
+}
+
+func TestBitShuffleMatchesDefinition(t *testing.T) {
+	p := BitShuffle()
+	// d_i = s_{(i-1) mod b} is a rotate-left by one: 0b1000_0000 -> 0b1.
+	if d := p.Dest(nil, 128, 256); d != 1 {
+		t.Fatalf("shuffle(128) = %d, want 1", d)
+	}
+}
+
+func TestBitTransposeMatchesDefinition(t *testing.T) {
+	p := BitTranspose()
+	// b=8, rotate by b/2=4: 0b0000_0001 -> 0b0001_0000.
+	if d := p.Dest(nil, 1, 256); d != 16 {
+		t.Fatalf("transpose(1) = %d, want 16", d)
+	}
+}
+
+func TestBitPatternsOnNonPowerOfTwo(t *testing.T) {
+	// 3136 nodes: only the embedded 2048-node space participates.
+	p := BitReverse()
+	for src := 2048; src < 3136; src += 97 {
+		if d := p.Dest(nil, src, 3136); d != -1 {
+			t.Fatalf("node %d outside the 2^b space injected to %d", src, d)
+		}
+	}
+	active := 0
+	for src := 0; src < 2048; src++ {
+		if p.Dest(nil, src, 3136) >= 0 {
+			active++
+		}
+	}
+	if active == 0 {
+		t.Fatal("no traffic in the embedded space")
+	}
+}
+
+func TestPatternsRegistry(t *testing.T) {
+	ps := Patterns(256, 1)
+	if len(ps) != 6 {
+		t.Fatalf("pattern count %d, want 6 (Sec. 7.2)", len(ps))
+	}
+	names := []string{"uniform", "uniform-hotspot", "bit-shuffle", "bit-complement", "bit-transpose", "bit-reverse"}
+	for i, p := range ps {
+		if p.Name() != names[i] {
+			t.Errorf("pattern %d = %q, want %q", i, p.Name(), names[i])
+		}
+		if got, err := ByName(names[i], 256, 1); err != nil || got.Name() != names[i] {
+			t.Errorf("ByName(%q): %v", names[i], err)
+		}
+	}
+	if _, err := ByName("nonsense", 256, 1); err == nil {
+		t.Error("unknown pattern accepted")
+	}
+}
+
+func TestLocalUniformStaysInBlock(t *testing.T) {
+	l := &LocalUniform{ChipletsX: 4, NodesX: 7, NodesY: 7, GX: 28, BlockChiplets: 2}
+	f := func(a uint16, seed int64) bool {
+		n := 28 * 28
+		src := int(a) % n
+		rng := rand.New(rand.NewSource(seed))
+		d := l.Dest(rng, src, n)
+		if d < 0 {
+			return false
+		}
+		if d == src {
+			return false
+		}
+		// Same 2×2-chiplet block: block width 14 nodes.
+		sx, sy := src%28, src/28
+		dx, dy := d%28, d/28
+		return sx/14 == dx/14 && sy/14 == dy/14
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratorOfferedRate(t *testing.T) {
+	// Statistical check: the generator's offered load approximates the
+	// requested rate. Packets pile up in the source queues since the
+	// network never steps.
+	net := newTestNet(t, 16)
+	g := NewGenerator(net, Uniform{}, 0.2, 7)
+	cycles := int64(20000)
+	for now := int64(0); now < cycles; now++ {
+		g.Drive(now)
+	}
+	offered := float64(net.QueuedPackets()*net.Cfg.PacketLength) / float64(cycles) / 16
+	if offered < 0.17 || offered > 0.23 {
+		t.Fatalf("offered rate %.3f, want ≈0.2", offered)
+	}
+}
+
+func TestGeneratorNodeSubset(t *testing.T) {
+	net := newTestNet(t, 16)
+	g := NewGenerator(net, Uniform{}, 0.5, 7)
+	g.Nodes = []network.NodeID{3}
+	for now := int64(0); now < 1000; now++ {
+		g.Drive(now)
+	}
+	if net.QueuedPackets() == 0 {
+		t.Fatal("restricted generator produced nothing")
+	}
+}
+
+func newTestNet(t *testing.T, n int) *network.Network {
+	t.Helper()
+	cfg := network.DefaultConfig()
+	net, err := network.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.AddNodes(n)
+	return net
+}
