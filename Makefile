@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench experiments experiments-full examples vet clean
+.PHONY: all build test race bench experiments experiments-full examples vet fmt-check smoke ci clean
 
 all: build test
 
@@ -16,7 +16,23 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/network ./internal/core ./internal/routing
+	$(GO) test -race ./internal/network ./internal/core ./internal/routing ./internal/sweep
+
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
+	fi
+
+# End-to-end sweep gate: reduced fig11 across 4 concurrent points, then
+# validate the JSON result manifest (zero failed points required).
+smoke:
+	$(GO) run ./cmd/hetsim -exp fig11 -tiny -jobs 4 -json results-ci
+	test -f results-ci/BENCH_fig11.json
+	$(GO) run ./cmd/checkmanifest results-ci/BENCH_fig11.json
+
+# Everything .github/workflows/ci.yml runs, locally.
+ci: build vet fmt-check test race smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -36,4 +52,4 @@ examples:
 	$(GO) run ./examples/energy_tuning
 
 clean:
-	rm -rf results results-full test_output.txt bench_output.txt
+	rm -rf results results-full results-ci test_output.txt bench_output.txt

@@ -1,0 +1,54 @@
+// Command checkmanifest validates hetsim JSON result manifests
+// (BENCH_<experiment>.json). It exits non-zero when a manifest is missing,
+// malformed (unknown fields, wrong schema version, inconsistent failure
+// counts), empty, or contains a failed operating point — the gate the CI
+// smoke job runs after `hetsim -exp fig11 -jobs 4 -json results-ci`.
+//
+// Usage:
+//
+//	checkmanifest results-ci/BENCH_fig11.json [more.json...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"heteroif/internal/experiments"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: checkmanifest <manifest.json>...")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, path := range flag.Args() {
+		m, err := experiments.ReadManifest(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "checkmanifest: %s: %v\n", path, err)
+			failed = true
+			continue
+		}
+		if err := m.Check(); err != nil {
+			fmt.Fprintf(os.Stderr, "checkmanifest: %s: %v\n", path, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("%s: ok (%s, %d points, %d tables, %d ms", path, m.Experiment,
+			len(m.Points), len(m.Tables), m.WallClockMS)
+		if m.Git != "" {
+			fmt.Printf(", git %s", m.Git)
+		}
+		fmt.Println(")")
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -3,19 +3,28 @@
 //
 // Usage:
 //
-//	hetsim -exp fig11            # shortened CI-scale run
-//	hetsim -exp fig14 -full      # paper-scale system and windows
-//	hetsim -exp all -csv out/    # everything, with CSV output
+//	hetsim -exp fig11                  # shortened CI-scale run
+//	hetsim -exp fig14 -full            # paper-scale system and windows
+//	hetsim -exp all -csv out/          # everything, with CSV output
+//	hetsim -exp all -jobs 8 -json out/ # parallel sweep + JSON manifests
 //	hetsim -list
+//
+// -jobs runs independent operating points concurrently (point-level
+// parallelism); -workers parallelizes the cycle loop of each simulation
+// (cycle-level parallelism). Both are deterministic: results are
+// bit-identical for any -jobs/-workers values.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"strings"
 	"time"
 
 	"heteroif/internal/experiments"
+	"heteroif/internal/sweep"
 )
 
 func main() {
@@ -23,10 +32,17 @@ func main() {
 		exp     = flag.String("exp", "", "experiment ID (e.g. fig11, table3) or \"all\"")
 		spec    = flag.String("run", "", "run a custom simulation from a JSON spec file")
 		full    = flag.Bool("full", false, "paper-scale systems and simulation windows (slow)")
+		tiny    = flag.Bool("tiny", false, "smoke-test scale systems and windows (seconds; used by CI)")
 		csv     = flag.String("csv", "", "directory for CSV output (optional)")
+		jsonDir = flag.String("json", "", "directory for JSON result manifests (BENCH_<exp>.json, optional)")
 		seed    = flag.Int64("seed", 0, "random seed override (0 = default)")
-		workers = flag.Int("workers", 1, "parallel simulation workers (deterministic; useful for -full)")
-		list    = flag.Bool("list", false, "list available experiments")
+		workers = flag.Int("workers", 1, "parallel simulation workers per point (cycle-level, deterministic); "+
+			"when set explicitly it overrides the \"workers\" field of a -run spec")
+		jobs = flag.Int("jobs", 1, "concurrent operating points per experiment (point-level, deterministic; "+
+			"results are bit-identical for any value)")
+		jobTimeout = flag.Duration("job-timeout", 0, "per-point wall-clock timeout; an expired point is reported "+
+			"as failed instead of hanging the sweep (0 = unbounded)")
+		list = flag.Bool("list", false, "list available experiments")
 	)
 	flag.Parse()
 
@@ -35,6 +51,11 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "hetsim:", err)
 			os.Exit(1)
+		}
+		// Precedence: an explicit -workers flag wins over the spec's
+		// "workers" field, which wins over the default (sequential).
+		if c.Workers == 0 || flagWasSet("workers") {
+			c.Workers = *workers
 		}
 		if err := c.Execute(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "hetsim:", err)
@@ -54,15 +75,33 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Full: *full, CSVDir: *csv, Seed: *seed, Workers: *workers}
+	opts := experiments.Options{
+		Full: *full, Tiny: *tiny, CSVDir: *csv, Seed: *seed,
+		Workers: *workers, Jobs: *jobs, JobTimeout: *jobTimeout,
+	}
+	git := gitDescribe()
 	run := func(e experiments.Experiment) {
 		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+		o := opts
+		o.Progress = progressPrinter(e.ID)
+		if *jsonDir != "" {
+			o.Manifest = experiments.NewManifest(e, git, o)
+		}
 		start := time.Now()
-		if err := e.Run(opts, os.Stdout); err != nil {
+		err := e.Run(o, os.Stdout)
+		elapsed := time.Since(start)
+		if o.Manifest != nil {
+			o.Manifest.WallClockMS = elapsed.Milliseconds()
+			if werr := o.Manifest.Write(*jsonDir); werr != nil {
+				fmt.Fprintf(os.Stderr, "hetsim: writing %s manifest: %v\n", e.ID, werr)
+				os.Exit(1)
+			}
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "hetsim: %s failed: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-		fmt.Printf("=== %s done in %s ===\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("=== %s done in %s ===\n\n", e.ID, elapsed.Round(time.Millisecond))
 	}
 
 	if *exp == "all" {
@@ -77,4 +116,51 @@ func main() {
 		os.Exit(2)
 	}
 	run(e)
+}
+
+// flagWasSet reports whether the named flag was passed on the command line
+// (as opposed to holding its default value).
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// progressPrinter reports sweep progress on stderr: in-place on a
+// terminal, as plain lines when redirected (CI logs).
+func progressPrinter(id string) func(sweep.Progress) {
+	tty := false
+	if st, err := os.Stderr.Stat(); err == nil {
+		tty = st.Mode()&os.ModeCharDevice != 0
+	}
+	return func(p sweep.Progress) {
+		line := fmt.Sprintf("%s: %d/%d points (%.0f%%), elapsed %s, eta %s",
+			id, p.Done, p.Total, 100*float64(p.Done)/float64(p.Total),
+			p.Elapsed.Round(time.Second), p.ETA.Round(time.Second))
+		if p.Failed > 0 {
+			line += fmt.Sprintf(", %d FAILED", p.Failed)
+		}
+		switch {
+		case tty && p.Done == p.Total:
+			fmt.Fprintf(os.Stderr, "\r%-78s\n", line)
+		case tty:
+			fmt.Fprintf(os.Stderr, "\r%-78s", line)
+		default:
+			fmt.Fprintln(os.Stderr, line)
+		}
+	}
+}
+
+// gitDescribe stamps manifests with the producing tree's version; empty
+// outside a git checkout.
+func gitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty", "--tags").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }

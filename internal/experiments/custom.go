@@ -45,6 +45,11 @@ type CustomRun struct {
 	Warmup int64 `json:"warmup,omitempty"`
 	Seed   int64 `json:"seed,omitempty"`
 
+	// Workers enables deterministic parallel stepping across this many
+	// goroutines (0/1 = sequential). The hetsim -workers flag, when set
+	// explicitly, overrides this field.
+	Workers int `json:"workers,omitempty"`
+
 	// PacketLength overrides the synthetic packet length in flits.
 	PacketLength int `json:"packet_length,omitempty"`
 }
@@ -104,6 +109,10 @@ func (c *CustomRun) Execute(w io.Writer) error {
 	if c.Halved {
 		cfg = cfg.Halved()
 	}
+	if c.Workers < 0 {
+		return fmt.Errorf("experiments: workers %d must be non-negative", c.Workers)
+	}
+	cfg.Workers = c.Workers
 	sys, err := systemByName(c.System)
 	if err != nil {
 		return err

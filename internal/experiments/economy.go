@@ -45,5 +45,5 @@ func runEconomy(o Options, w io.Writer) error {
 		})
 	}
 	fmt.Fprintln(w, "\n\"Flexibility itself is the most significant cost saving.\" (Sec. 4.3)")
-	return writeCSV(o.CSVDir, "economy", []string{"area_overhead", "uniform_usd", "hetero_usd", "saving"}, rows)
+	return emitTable(o, "economy", []string{"area_overhead", "uniform_usd", "hetero_usd", "saving"}, rows)
 }

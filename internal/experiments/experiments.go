@@ -8,8 +8,10 @@ import (
 	"path/filepath"
 	"sort"
 	"strconv"
+	"time"
 
 	"heteroif/internal/network"
+	"heteroif/internal/sweep"
 	"heteroif/internal/topology"
 	"heteroif/internal/traffic"
 )
@@ -24,11 +26,25 @@ type Options struct {
 	CSVDir string
 	// Seed overrides the default random seed when non-zero.
 	Seed int64
-	// Workers enables deterministic parallel stepping (0/1 = sequential).
+	// Workers enables deterministic parallel stepping of one simulation
+	// across goroutines (0/1 = sequential) — cycle-level parallelism.
 	Workers int
 	// Tiny shrinks systems and windows to smoke-test scale (seconds for
 	// the whole registry); used by tests, never for reported results.
 	Tiny bool
+	// Jobs runs this many independent operating points concurrently —
+	// point-level parallelism (0/1 = sequential in submission order).
+	// Results are bit-identical for any value.
+	Jobs int
+	// JobTimeout bounds each operating point's wall-clock time; a point
+	// that exceeds it is reported as failed instead of hanging the sweep
+	// (0 = unbounded).
+	JobTimeout time.Duration
+	// Progress, when non-nil, receives per-point completion updates.
+	Progress func(sweep.Progress)
+	// Manifest, when non-nil, accumulates per-point results and derived
+	// tables for the machine-readable BENCH_<experiment>.json output.
+	Manifest *Manifest
 }
 
 // Experiment is a runnable reproduction of one table or figure.
@@ -156,9 +172,12 @@ func pick(o Options, full, short, tiny int) int {
 	return short
 }
 
-// sweep measures one variant across offered loads, stopping the sweep two
-// points past saturation (the latency-vs-injection curves of Figs. 11/14).
-func sweep(v variant, pat traffic.Pattern, rates []float64) ([]Result, error) {
+// sweepRates measures one variant across offered loads, stopping the sweep
+// two points past saturation (the latency-vs-injection curves of
+// Figs. 11/14). It is the natural job granularity for the orchestrator:
+// the early exit is a sequential dependency between rates, while different
+// (variant, pattern) sweeps are independent.
+func sweepRates(v variant, pat traffic.Pattern, rates []float64) ([]Result, error) {
 	var out []Result
 	pastSat := 0
 	for _, rate := range rates {
@@ -175,6 +194,63 @@ func sweep(v variant, pat traffic.Pattern, rates []float64) ([]Result, error) {
 		}
 	}
 	return out, nil
+}
+
+// pointJob is one independent operating point (or one self-contained rate
+// sweep) submitted to the sweep orchestrator.
+type pointJob struct {
+	key string
+	run func() ([]Result, error)
+}
+
+// point adapts a single-Result computation to a pointJob.
+func point(key string, run func() (Result, error)) pointJob {
+	return pointJob{key: key, run: func() ([]Result, error) {
+		r, err := run()
+		if err != nil {
+			return nil, err
+		}
+		return []Result{r}, nil
+	}}
+}
+
+// runJobs executes the jobs through the sweep orchestrator, honoring
+// o.Jobs/o.JobTimeout/o.Progress. It returns per-job result slices in
+// submission order — identical for any pool size — plus the first error.
+// Failed jobs are recorded in the manifest and yield their partial results;
+// siblings always run to completion.
+func runJobs(o Options, jobs []pointJob) ([][]Result, error) {
+	sj := make([]sweep.Job[[]Result], len(jobs))
+	for i, j := range jobs {
+		sj[i] = sweep.Job[[]Result]{Key: j.key, Run: j.run}
+	}
+	outs := sweep.Run(sj, sweep.Options{Jobs: o.Jobs, Timeout: o.JobTimeout, OnProgress: o.Progress})
+	res := make([][]Result, len(outs))
+	var firstErr error
+	for i := range outs {
+		res[i] = outs[i].Value
+		if outs[i].Err != nil {
+			o.Manifest.RecordFailure(outs[i].Key, outs[i].Err)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", outs[i].Key, outs[i].Err)
+			}
+		}
+	}
+	return res, firstErr
+}
+
+// emitResults records measured result rows into the manifest (when one is
+// attached) and emits them as <CSVDir>/<name>.csv (when CSVDir is set).
+func emitResults(o Options, name string, rs []Result) error {
+	o.Manifest.Record(rs...)
+	return writeCSV(o.CSVDir, name, resultHeader, resultRows(rs))
+}
+
+// emitTable records a derived (non-Result) table into the manifest and
+// emits it as CSV, for the table/report experiments.
+func emitTable(o Options, name string, header []string, rows [][]string) error {
+	o.Manifest.RecordTable(name, header, rows)
+	return writeCSV(o.CSVDir, name, header, rows)
 }
 
 // writeCSV emits rows to <dir>/<name>.csv when dir is non-empty.

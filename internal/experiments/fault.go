@@ -7,9 +7,21 @@ import (
 	"strconv"
 
 	"heteroif/internal/network"
+	"heteroif/internal/sweep"
 	"heteroif/internal/topology"
 	"heteroif/internal/traffic"
 )
+
+// countTrue counts set entries (used to label fault-injection jobs).
+func countTrue(bs []bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
+}
 
 // runFault quantifies Sec. 9 "Fault tolerance": hetero-IF systems carry
 // extra channel diversity, so killing a growing fraction of their
@@ -23,55 +35,118 @@ func runFault(o Options, w io.Writer) error {
 		fracs = []float64{0, 0.5}
 	}
 	cx := pick(o, 4, 4, 2)
+	systems := []topology.System{topology.HeteroPHYTorus, topology.HeteroChannel}
 
-	var rows [][]string
-	for _, sys := range []topology.System{topology.HeteroPHYTorus, topology.HeteroChannel} {
-		fmt.Fprintf(w, "--- %s: uniform @ 0.1 with failed adaptive channels ---\n", sys)
-		for _, frac := range fracs {
-			in, err := Build(cfg, topology.Spec{System: sys, ChipletsX: cx, ChipletsY: cx, NodesX: 4, NodesY: 4})
-			if err != nil {
-				return err
-			}
-			failed, failable := 0, 0
-			for n := range in.Topo.OutPorts {
-				for port := 1; port < len(in.Topo.OutPorts[n]); port++ {
-					p := &in.Topo.OutPorts[n][port]
-					if !p.Wrap && p.CubeDim < 0 {
-						continue
-					}
+	// The kill decisions come from one rng consumed sequentially across
+	// all fault levels (matching the historical draw order exactly), so
+	// they are pre-rolled here — one probe build per system enumerates the
+	// failable ports in deterministic order — and the simulations then run
+	// as independent orchestrator jobs.
+	type faultCase struct {
+		sys       topology.System
+		decisions []bool // one per failable port, in enumeration order
+	}
+	var cases []faultCase
+	for _, sys := range systems {
+		probe, err := Build(cfg, topology.Spec{System: sys, ChipletsX: cx, ChipletsY: cx, NodesX: 4, NodesY: 4})
+		if err != nil {
+			return err
+		}
+		failable := 0
+		for n := range probe.Topo.OutPorts {
+			for port := 1; port < len(probe.Topo.OutPorts[n]); port++ {
+				p := &probe.Topo.OutPorts[n][port]
+				if p.Wrap || p.CubeDim >= 0 {
 					failable++
-					if rng.Float64() >= frac {
-						continue
-					}
-					if err := in.Topo.FailLink(network.NodeID(n), port); err == nil {
-						failed++
-					}
 				}
 			}
-			if err := in.RunSynthetic(traffic.Uniform{}, 0.1); err != nil {
-				return fmt.Errorf("%v with %d faults: %w", sys, failed, err)
+		}
+		for _, frac := range fracs {
+			dec := make([]bool, failable)
+			for i := range dec {
+				dec[i] = rng.Float64() < frac
 			}
-			drained, err := in.Net.Drain()
-			if err != nil || !drained {
-				return fmt.Errorf("%v with %d faults did not drain: %v", sys, failed, err)
+			cases = append(cases, faultCase{sys: sys, decisions: dec})
+		}
+	}
+
+	type faultRow struct {
+		failed, failable int
+		meanLat          float64
+		delivered        bool
+	}
+	jobs := make([]sweep.Job[faultRow], len(cases))
+	for i, fc := range cases {
+		fc := fc
+		jobs[i] = sweep.Job[faultRow]{
+			Key: fmt.Sprintf("fault/%v/%d-killed", fc.sys, countTrue(fc.decisions)),
+			Run: func() (faultRow, error) {
+				var row faultRow
+				in, err := Build(cfg, topology.Spec{System: fc.sys, ChipletsX: cx, ChipletsY: cx, NodesX: 4, NodesY: 4})
+				if err != nil {
+					return row, err
+				}
+				idx := 0
+				for n := range in.Topo.OutPorts {
+					for port := 1; port < len(in.Topo.OutPorts[n]); port++ {
+						p := &in.Topo.OutPorts[n][port]
+						if !p.Wrap && p.CubeDim < 0 {
+							continue
+						}
+						row.failable++
+						kill := fc.decisions[idx]
+						idx++
+						if !kill {
+							continue
+						}
+						if err := in.Topo.FailLink(network.NodeID(n), port); err == nil {
+							row.failed++
+						}
+					}
+				}
+				if err := in.RunSynthetic(traffic.Uniform{}, 0.1); err != nil {
+					return row, fmt.Errorf("%v with %d faults: %w", fc.sys, row.failed, err)
+				}
+				drained, err := in.Net.Drain()
+				if err != nil || !drained {
+					return row, fmt.Errorf("%v with %d faults did not drain: %v", fc.sys, row.failed, err)
+				}
+				row.meanLat = in.Stats.MeanLatency()
+				row.delivered = in.Net.PacketsDelivered() == in.Net.PacketsInjected()
+				return row, nil
+			},
+		}
+	}
+	outs := sweep.Run(jobs, sweep.Options{Jobs: o.Jobs, Timeout: o.JobTimeout, OnProgress: o.Progress})
+
+	var rows [][]string
+	i := 0
+	for _, sys := range systems {
+		fmt.Fprintf(w, "--- %s: uniform @ 0.1 with failed adaptive channels ---\n", sys)
+		for range fracs {
+			out := &outs[i]
+			i++
+			if out.Failed() {
+				o.Manifest.RecordFailure(out.Key, out.Err)
+				return out.Err
 			}
-			delivered := in.Net.PacketsDelivered() == in.Net.PacketsInjected()
+			row := out.Value
 			fmt.Fprintf(w, "failed %3d/%3d adaptive links: lat=%7.1f cycles, all delivered=%v\n",
-				failed, failable, in.Stats.MeanLatency(), delivered)
+				row.failed, row.failable, row.meanLat, row.delivered)
 			rows = append(rows, []string{
-				sys.String(), strconv.Itoa(failed), strconv.Itoa(failable),
-				strconv.FormatFloat(in.Stats.MeanLatency(), 'f', 2, 64),
-				strconv.FormatBool(delivered),
+				sys.String(), strconv.Itoa(row.failed), strconv.Itoa(row.failable),
+				strconv.FormatFloat(row.meanLat, 'f', 2, 64),
+				strconv.FormatBool(row.delivered),
 			})
-			if !delivered {
-				return fmt.Errorf("%v lost packets with %d faults", sys, failed)
+			if !row.delivered {
+				return fmt.Errorf("%v lost packets with %d faults", sys, row.failed)
 			}
 		}
 	}
 	fmt.Fprintln(w, "\nall traffic delivered at every fault level: the escape subnetwork")
 	fmt.Fprintln(w, "guarantees connectivity; the surviving adaptive channels soften the")
 	fmt.Fprintln(w, "latency loss (Sec. 9: diversity improves fault tolerance).")
-	return writeCSV(o.CSVDir, "fault", []string{"system", "failed_links", "failable_links", "mean_latency", "all_delivered"}, rows)
+	return emitTable(o, "fault", []string{"system", "failed_links", "failable_links", "mean_latency", "all_delivered"}, rows)
 }
 
 // runCompromised evaluates the Sec. 2.2 "compromised interface" (BoW/UCIe-
@@ -93,14 +168,26 @@ func runCompromised(o Options, w io.Writer) error {
 		{"compromised-bow-torus", bow, topology.Spec{System: topology.UniformSerialTorus, ChipletsX: cc, ChipletsY: cc, NodesX: 4, NodesY: 4}},
 		{"hetero-phy-full", cfg, topology.Spec{System: topology.HeteroPHYTorus, ChipletsX: cc, ChipletsY: cc, NodesX: 4, NodesY: 4}},
 	}
-	var all []Result
-	for _, rate := range []float64{0.05, 0.2, 0.4} {
-		fmt.Fprintf(w, "--- compromised-IF comparison, uniform @ %.2f ---\n", rate)
+	rates := []float64{0.05, 0.2, 0.4}
+	var jobs []pointJob
+	for _, rate := range rates {
 		for _, v := range vs {
-			r, err := runPoint(v, traffic.Uniform{}, rate)
-			if err != nil {
-				return err
-			}
+			rate, v := rate, v
+			jobs = append(jobs, point(fmt.Sprintf("compromised/uniform@%.2f/%s", rate, v.Name),
+				func() (Result, error) { return runPoint(v, traffic.Uniform{}, rate) }))
+		}
+	}
+	outs, err := runJobs(o, jobs)
+	if err != nil {
+		return err
+	}
+	var all []Result
+	i := 0
+	for _, rate := range rates {
+		fmt.Fprintf(w, "--- compromised-IF comparison, uniform @ %.2f ---\n", rate)
+		for range vs {
+			r := outs[i][0]
+			i++
 			fmt.Fprintln(w, r)
 			all = append(all, r)
 		}
@@ -112,5 +199,5 @@ func runCompromised(o Options, w io.Writer) error {
 	fmt.Fprintln(w, "BoW's 32 Gbps per-lane ceiling caps how far the 3-flit/cycle links")
 	fmt.Fprintln(w, "scale, while the hetero-IF keeps the full serial data rate in reserve")
 	fmt.Fprintln(w, "and the parallel PHY's energy at short reach.")
-	return writeCSV(o.CSVDir, "compromised", resultHeader, resultRows(all))
+	return emitResults(o, "compromised", all)
 }

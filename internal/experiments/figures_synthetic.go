@@ -25,7 +25,7 @@ func runTable1(o Options, w io.Writer) error {
 			strconv.FormatFloat(s.PJPerBit, 'f', 2, 64),
 			strconv.FormatFloat(s.ReachMM, 'f', 0, 64)})
 	}
-	return writeCSV(o.CSVDir, "table1", []string{"interface", "data_rate_gbps", "latency_ns", "pj_per_bit", "reach_mm"}, rows)
+	return emitTable(o, "table1", []string{"interface", "data_rate_gbps", "latency_ns", "pj_per_bit", "reach_mm"}, rows)
 }
 
 // runFig08 emits the V–t curves of Eq. 2 for the uniform, compromised and
@@ -59,7 +59,7 @@ func runFig08(o Options, w io.Writer) error {
 	fmt.Fprintf(w, "Fig 8(a) property: hetero-full(t) >= max(parallel, serial) for all t (combines both advantages)\n")
 	fmt.Fprintf(w, "Fig 8(b) property: hetero-half keeps the parallel t-intercept (%.0f cycles) with %d%% of the serial slope\n",
 		heteroHalf.Parallel.Delay, 50)
-	return writeCSV(o.CSVDir, "fig08", []string{"t", "parallel", "serial", "compromised", "hetero_full", "hetero_half"}, rows)
+	return emitTable(o, "fig08", []string{"t", "parallel", "serial", "compromised", "hetero_full", "hetero_half"}, rows)
 }
 
 // fig11Rates returns the injection-rate grid for the pattern sweeps.
@@ -74,21 +74,35 @@ func fig11Rates(o Options) []float64 {
 }
 
 // runPatternFigure is the shared driver for Figs. 11 and 14: a latency-vs-
-// injection sweep over the six synthetic patterns and four systems.
+// injection sweep over the six synthetic patterns and four systems. Each
+// (pattern, variant) rate sweep is one orchestrator job — the patterns are
+// immutable after construction, and every point builds its own instance,
+// so the jobs are independent and the results identical at any o.Jobs.
 func runPatternFigure(o Options, w io.Writer, name string, variants []variant, n int) error {
 	pats := traffic.Patterns(n, baseConfig(o).Seed+5)
 	if o.Tiny {
 		pats = pats[:2] // uniform + hotspot
 	}
+	rates := fig11Rates(o)
+	var jobs []pointJob
+	for _, pat := range pats {
+		for _, v := range variants {
+			pat, v := pat, v
+			jobs = append(jobs, pointJob{
+				key: fmt.Sprintf("%s/%s/%s", name, pat.Name(), v.Name),
+				run: func() ([]Result, error) { return sweepRates(v, pat, rates) },
+			})
+		}
+	}
+	outs, err := runJobs(o, jobs)
 	var all []Result
+	i := 0
 	for _, pat := range pats {
 		fmt.Fprintf(w, "--- %s / %s ---\n", name, pat.Name())
 		plot := &asciiPlot{Title: fmt.Sprintf("%s / %s: latency vs injection rate", name, pat.Name())}
 		for _, v := range variants {
-			rs, err := sweep(v, pat, fig11Rates(o))
-			if err != nil {
-				return err
-			}
+			rs := outs[i]
+			i++
 			for _, r := range rs {
 				fmt.Fprintln(w, r)
 			}
@@ -97,7 +111,10 @@ func runPatternFigure(o Options, w io.Writer, name string, variants []variant, n
 		}
 		plot.render(w)
 	}
-	return writeCSV(o.CSVDir, name, resultHeader, resultRows(all))
+	if e := emitResults(o, name, all); err == nil {
+		err = e
+	}
+	return err
 }
 
 // runFig11 reproduces Figure 11: hetero-PHY-based 2D-torus vs the uniform
@@ -144,48 +161,46 @@ func runTable3(o Options, w io.Writer) error {
 
 	const rate = 0.1
 	cfg := baseConfig(o)
-	fmt.Fprintf(w, "%-10s %-16s %-16s\n", "Scale", "Hetero-PHY", "Hetero-Channel")
-	var rows [][]string
-	for _, s := range scales {
-		latOf := func(v variant) (float64, error) {
-			r, err := runPoint(v, traffic.Uniform{}, rate)
-			if err != nil {
-				return 0, err
-			}
-			return r.MeanLatency, nil
-		}
-		phyVars := heteroPHYVariants(cfg, s.cx, s.cy, s.nx, s.ny)
-		latPar, err := latOf(phyVars[0])
-		if err != nil {
-			return err
-		}
-		latSer, err := latOf(phyVars[1])
-		if err != nil {
-			return err
-		}
-		latPHY, err := latOf(phyVars[2])
-		if err != nil {
-			return err
-		}
-		phyRed := fmt.Sprintf("%.1f%% / %.1f%%", 100*(1-latPHY/latPar), 100*(1-latPHY/latSer))
 
-		chRed := "-"
+	// One job per measured system per scale (3 hetero-PHY comparisons
+	// everywhere, plus 2 hetero-channel systems at the larger scales).
+	var jobs []pointJob
+	latJob := func(label string, v variant) pointJob {
+		return point(fmt.Sprintf("table3/%s/%s", label, v.Name), func() (Result, error) {
+			return runPoint(v, traffic.Uniform{}, rate)
+		})
+	}
+	for _, s := range scales {
+		phyVars := heteroPHYVariants(cfg, s.cx, s.cy, s.nx, s.ny)
+		jobs = append(jobs, latJob(s.label, phyVars[0]), latJob(s.label, phyVars[1]), latJob(s.label, phyVars[2]))
 		if s.heteroChannel {
 			chVars := heteroChannelVariants(cfg, s.cx, s.cy, s.nx, s.ny)
-			latCube, err := latOf(chVars[1])
-			if err != nil {
-				return err
-			}
-			latCh, err := latOf(chVars[2])
-			if err != nil {
-				return err
-			}
+			jobs = append(jobs, latJob(s.label, chVars[1]), latJob(s.label, chVars[2]))
+		}
+	}
+	outs, err := runJobs(o, jobs)
+	if err != nil {
+		return err
+	}
+	lat := func(i int) float64 { return outs[i][0].MeanLatency }
+
+	fmt.Fprintf(w, "%-10s %-16s %-16s\n", "Scale", "Hetero-PHY", "Hetero-Channel")
+	var rows [][]string
+	i := 0
+	for _, s := range scales {
+		latPar, latSer, latPHY := lat(i), lat(i+1), lat(i+2)
+		i += 3
+		phyRed := fmt.Sprintf("%.1f%% / %.1f%%", 100*(1-latPHY/latPar), 100*(1-latPHY/latSer))
+		chRed := "-"
+		if s.heteroChannel {
+			latCube, latCh := lat(i), lat(i+1)
+			i += 2
 			chRed = fmt.Sprintf("%.1f%% / %.1f%%", 100*(1-latCh/latPar), 100*(1-latCh/latCube))
 		}
 		fmt.Fprintf(w, "%-10s %-16s %-16s\n", s.label, phyRed, chRed)
 		rows = append(rows, []string{s.label, phyRed, chRed})
 	}
-	return writeCSV(o.CSVDir, "table3", []string{"scale", "hetero_phy_vs_parallel/serial", "hetero_channel_vs_parallel/serial"}, rows)
+	return emitTable(o, "table3", []string{"scale", "hetero_phy_vs_parallel/serial", "hetero_channel_vs_parallel/serial"}, rows)
 }
 
 // energyVariantsPHY returns the Fig. 16(a)/17(a) systems: the two uniform
@@ -232,39 +247,53 @@ func runEnergyPoint(v variant, energyBias bool, pat traffic.Pattern, rate float6
 // (6×6 chiplets of 6×6 nodes); (b) hetero-channel on the large cube system.
 func runFig16(o Options, w io.Writer) error {
 	cfg := baseConfig(o)
-	var all []Result
 	cp := pick(o, 6, 6, 2)
 	np := pick(o, 6, 6, 4)
-	fmt.Fprintf(w, "--- Fig 16(a): hetero-PHY, %dx%d chiplets of %dx%d nodes, uniform @ 0.1 ---\n", cp, cp, np, np)
-	for _, v := range energyVariantsPHY(cfg, cp, cp, np, np) {
-		r, err := runEnergyPoint(v, false, traffic.Uniform{}, 0.1)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "%-26s energy/pkt=%8.1f pJ (on-chip %.1f + interface %.1f), lat=%.1f\n",
-			r.System, r.EnergyPJ, r.EnergyOnChipPJ, r.EnergyIfacePJ, r.MeanLatency)
-		all = append(all, r)
-	}
 	cx := pick(o, 8, 4, 2)
 	nn := pick(o, 7, 7, 4)
-	fmt.Fprintf(w, "--- Fig 16(b): hetero-channel, %dx%d chiplets of %dx%d nodes, uniform @ 0.1 ---\n", cx, cx, nn, nn)
+
+	var jobs []pointJob
+	phyVars := energyVariantsPHY(cfg, cp, cp, np, np)
+	for _, v := range phyVars {
+		v := v
+		jobs = append(jobs, point("fig16/phy/"+v.Name, func() (Result, error) {
+			return runEnergyPoint(v, false, traffic.Uniform{}, 0.1)
+		}))
+	}
 	chVars := heteroChannelVariants(cfg, cx, cx, nn, nn)
-	for i, v := range []variant{chVars[0], chVars[1], chVars[2], chVars[2]} {
-		bias := i == 3
+	chSet := []variant{chVars[0], chVars[1], chVars[2], chVars[2]}
+	for i, v := range chSet {
+		i, v := i, v
 		name := v.Name
-		if bias {
+		if i == 3 {
 			name = "hetero-channel-energy-eff"
 		}
-		r, err := runEnergyPoint(v, bias, traffic.Uniform{}, 0.1)
-		if err != nil {
-			return err
-		}
-		r.System = name
+		jobs = append(jobs, point("fig16/channel/"+name, func() (Result, error) {
+			r, err := runEnergyPoint(v, i == 3, traffic.Uniform{}, 0.1)
+			r.System = name
+			return r, err
+		}))
+	}
+	outs, err := runJobs(o, jobs)
+	if err != nil {
+		return err
+	}
+
+	var all []Result
+	printPoint := func(r Result) {
 		fmt.Fprintf(w, "%-26s energy/pkt=%8.1f pJ (on-chip %.1f + interface %.1f), lat=%.1f\n",
 			r.System, r.EnergyPJ, r.EnergyOnChipPJ, r.EnergyIfacePJ, r.MeanLatency)
 		all = append(all, r)
 	}
-	return writeCSV(o.CSVDir, "fig16", resultHeader, resultRows(all))
+	fmt.Fprintf(w, "--- Fig 16(a): hetero-PHY, %dx%d chiplets of %dx%d nodes, uniform @ 0.1 ---\n", cp, cp, np, np)
+	for i := range phyVars {
+		printPoint(outs[i][0])
+	}
+	fmt.Fprintf(w, "--- Fig 16(b): hetero-channel, %dx%d chiplets of %dx%d nodes, uniform @ 0.1 ---\n", cx, cx, nn, nn)
+	for i := range chSet {
+		printPoint(outs[len(phyVars)+i][0])
+	}
+	return emitResults(o, "fig16", all)
 }
 
 // runFig18 reproduces Figure 18: average per-packet energy as the traffic
@@ -282,22 +311,34 @@ func runFig18(o Options, w io.Writer) error {
 		scales = []int{1, 2}
 	}
 	vars := heteroChannelVariants(cfg, cx, cx, nn, nn)[:3]
+	var jobs []pointJob
+	for _, k := range scales {
+		for _, v := range vars {
+			k, v := k, v
+			jobs = append(jobs, point(fmt.Sprintf("fig18/scale%d/%s", k, v.Name), func() (Result, error) {
+				pat := &traffic.LocalUniform{
+					ChipletsX: cx, NodesX: nn, NodesY: nn, GX: cx * nn,
+					BlockChiplets: k,
+				}
+				return runEnergyPoint(v, false, pat, 0.01)
+			}))
+		}
+	}
+	outs, err := runJobs(o, jobs)
+	if err != nil {
+		return err
+	}
 	var all []Result
+	i := 0
 	for _, k := range scales {
 		fmt.Fprintf(w, "--- Fig 18: local scale %dx%d chiplets ---\n", k, k)
-		for _, v := range vars {
-			pat := &traffic.LocalUniform{
-				ChipletsX: cx, NodesX: nn, NodesY: nn, GX: cx * nn,
-				BlockChiplets: k,
-			}
-			r, err := runEnergyPoint(v, false, pat, 0.01)
-			if err != nil {
-				return err
-			}
+		for range vars {
+			r := outs[i][0]
+			i++
 			fmt.Fprintf(w, "%-26s scale=%d energy/pkt=%8.1f pJ (on-chip %.1f + interface %.1f)\n",
 				r.System, k, r.EnergyPJ, r.EnergyOnChipPJ, r.EnergyIfacePJ)
 			all = append(all, r)
 		}
 	}
-	return writeCSV(o.CSVDir, "fig18", resultHeader, resultRows(all))
+	return emitResults(o, "fig18", all)
 }

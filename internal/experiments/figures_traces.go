@@ -90,24 +90,43 @@ func runFig12(o Options, w io.Writer) error {
 		workloads = workloads[:1]
 	}
 	vs := heteroPHYVariants(cfg, 4, 4, 2, 2)
-	var all []Result
-	for _, wl := range workloads {
+
+	// Traces are generated once up front (their generator state is
+	// sequential), then shared read-only by the replay jobs.
+	traces := make([]*trace.Trace, len(workloads))
+	for i, wl := range workloads {
 		tr, err := trace.GeneratePARSEC(wl, cfg.SimCycles, cfg.Seed+31)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "--- fig12 / %s (offered %.4f flits/cycle/node) ---\n", wl, tr.OfferedRate())
+		traces[i] = tr
+	}
+	var jobs []pointJob
+	for _, tr := range traces {
 		for _, v := range vs {
-			r, err := replayPoint(v, tr, 1, false)
-			if err != nil {
-				return err
-			}
+			tr, v := tr, v
+			jobs = append(jobs, point(fmt.Sprintf("fig12/%s/%s", tr.Name, v.Name), func() (Result, error) {
+				return replayPoint(v, tr, 1, false)
+			}))
+		}
+	}
+	outs, err := runJobs(o, jobs)
+	if err != nil {
+		return err
+	}
+	var all []Result
+	i := 0
+	for ti, tr := range traces {
+		fmt.Fprintf(w, "--- fig12 / %s (offered %.4f flits/cycle/node) ---\n", workloads[ti], tr.OfferedRate())
+		for range vs {
+			r := outs[i][0]
+			i++
 			fmt.Fprintf(w, "%-26s lat=%7.1f ± %6.1f cycles, p99=%5d, %d pkts\n",
 				r.System, r.MeanLatency, r.StdDev, r.P99Latency, r.Packets)
 			all = append(all, r)
 		}
 	}
-	return writeCSV(o.CSVDir, "fig12", resultHeader, resultRows(all))
+	return emitResults(o, "fig12", all)
 }
 
 // hpcTargets is the Fig. 13/15 injection-rate sweep in flits/cycle/node:
@@ -123,33 +142,53 @@ func hpcTargets(o Options) []float64 {
 	return []float64{0.05, 0.15, 0.40}
 }
 
-// runHPCFigure is the shared driver for Figs. 13 and 15.
+// runHPCFigure is the shared driver for Figs. 13 and 15. The traces are
+// generated once and shared read-only; each (trace, target, variant)
+// replay is one orchestrator job.
 func runHPCFigure(o Options, w io.Writer, name string, vs []variant, nodes int) error {
 	cfg := baseConfig(o)
 	mult := int64(4)
 	if o.Full {
 		mult = 8 // enough trace to cover the window at the highest target
 	}
-	var all []Result
-	for _, gen := range []func() *trace.Trace{
-		func() *trace.Trace { return trace.GenerateCNS(cfg.SimCycles*mult, cfg.Seed+41) },
-		func() *trace.Trace { return trace.GenerateMOC(cfg.SimCycles*mult, cfg.Seed+43) },
-	} {
-		base := gen()
+	traces := []*trace.Trace{
+		trace.GenerateCNS(cfg.SimCycles*mult, cfg.Seed+41),
+		trace.GenerateMOC(cfg.SimCycles*mult, cfg.Seed+43),
+	}
+	targets := hpcTargets(o)
+
+	var jobs []pointJob
+	speedups := make(map[*trace.Trace][]float64)
+	for _, base := range traces {
 		flits := float64(base.TotalFlits())
+		for _, target := range targets {
+			// offered = flits / (duration/speedup) / nodes ⇒ speedup.
+			speedup := target * float64(nodes) * float64(base.Cycles) / flits
+			speedups[base] = append(speedups[base], speedup)
+			for _, v := range vs {
+				base, v, speedup := base, v, speedup
+				jobs = append(jobs, point(fmt.Sprintf("%s/%s@%.2f/%s", name, base.Name, target, v.Name),
+					func() (Result, error) { return replayPoint(v, base, speedup, false) }))
+			}
+		}
+	}
+	outs, err := runJobs(o, jobs)
+	if err != nil {
+		return err
+	}
+
+	var all []Result
+	i := 0
+	for _, base := range traces {
 		plot := &asciiPlot{Title: fmt.Sprintf("%s / %s: latency vs offered load", name, base.Name)}
 		perVariant := make(map[string][]Result)
 		var order []string
-		for _, target := range hpcTargets(o) {
-			// offered = flits / (duration/speedup) / nodes ⇒ speedup.
-			speedup := target * float64(nodes) * float64(base.Cycles) / flits
+		for ti, target := range targets {
 			fmt.Fprintf(w, "--- %s / %s target=%.2f flits/cycle/node (speedup %.2f) ---\n",
-				name, base.Name, target, speedup)
+				name, base.Name, target, speedups[base][ti])
 			for _, v := range vs {
-				r, err := replayPoint(v, base, speedup, false)
-				if err != nil {
-					return err
-				}
+				r := outs[i][0]
+				i++
 				fmt.Fprintln(w, r)
 				all = append(all, r)
 				if _, seen := perVariant[v.Name]; !seen {
@@ -163,7 +202,7 @@ func runHPCFigure(o Options, w io.Writer, name string, vs []variant, nodes int) 
 		}
 		plot.render(w)
 	}
-	return writeCSV(o.CSVDir, name, resultHeader, resultRows(all))
+	return emitResults(o, name, all)
 }
 
 // runFig13 reproduces Figure 13: HPC traces (CNS and MOC) on the 1296-node
@@ -191,36 +230,52 @@ func runFig15(o Options, w io.Writer) error {
 func runFig17(o Options, w io.Writer) error {
 	cfg := baseConfig(o)
 	moc := trace.GenerateMOC(cfg.SimCycles, cfg.Seed+43)
-	var all []Result
 
 	cxPHY := pick(o, 6, 4, 2)
 	nxPHY := pick(o, 6, 4, 4)
 	cxCh := pick(o, 8, 4, 2)
 	nCh := pick(o, 7, 7, 4)
-	fmt.Fprintln(w, "--- Fig 17(a): hetero-PHY on MOC ---")
-	for _, v := range energyVariantsPHY(cfg, cxPHY, cxPHY, nxPHY, nxPHY) {
-		r, err := replayPoint(v, moc, 1, false)
-		if err != nil {
-			return err
+	phyVars := energyVariantsPHY(cfg, cxPHY, cxPHY, nxPHY, nxPHY)
+	chVars := heteroChannelVariants(cfg, cxCh, cxCh, nCh, nCh)
+	chSet := []variant{chVars[0], chVars[1], chVars[2], chVars[2]}
+
+	var jobs []pointJob
+	for _, v := range phyVars {
+		v := v
+		jobs = append(jobs, point("fig17/phy/"+v.Name, func() (Result, error) {
+			return replayPoint(v, moc, 1, false)
+		}))
+	}
+	for i, v := range chSet {
+		i, v := i, v
+		name := v.Name
+		if i == 3 {
+			name = "hetero-channel-energy-eff"
 		}
+		jobs = append(jobs, point("fig17/channel/"+name, func() (Result, error) {
+			r, err := replayPoint(v, moc, 1, i == 3)
+			r.System = name
+			return r, err
+		}))
+	}
+	outs, err := runJobs(o, jobs)
+	if err != nil {
+		return err
+	}
+
+	var all []Result
+	printPoint := func(r Result) {
 		fmt.Fprintf(w, "%-26s energy/pkt=%8.1f pJ (on-chip %.1f + interface %.1f)\n",
 			r.System, r.EnergyPJ, r.EnergyOnChipPJ, r.EnergyIfacePJ)
 		all = append(all, r)
+	}
+	fmt.Fprintln(w, "--- Fig 17(a): hetero-PHY on MOC ---")
+	for i := range phyVars {
+		printPoint(outs[i][0])
 	}
 	fmt.Fprintln(w, "--- Fig 17(b): hetero-channel on MOC ---")
-	chVars := heteroChannelVariants(cfg, cxCh, cxCh, nCh, nCh)
-	for i, v := range []variant{chVars[0], chVars[1], chVars[2], chVars[2]} {
-		bias := i == 3
-		r, err := replayPoint(v, moc, 1, bias)
-		if err != nil {
-			return err
-		}
-		if bias {
-			r.System = "hetero-channel-energy-eff"
-		}
-		fmt.Fprintf(w, "%-26s energy/pkt=%8.1f pJ (on-chip %.1f + interface %.1f)\n",
-			r.System, r.EnergyPJ, r.EnergyOnChipPJ, r.EnergyIfacePJ)
-		all = append(all, r)
+	for i := range chSet {
+		printPoint(outs[len(phyVars)+i][0])
 	}
-	return writeCSV(o.CSVDir, "fig17", resultHeader, resultRows(all))
+	return emitResults(o, "fig17", all)
 }

@@ -68,23 +68,25 @@ func (in *Instance) RunSynthetic(p traffic.Pattern, rate float64) error {
 	return in.Net.Run(in.Net.Cfg.SimCycles-in.Net.Now, gen.Drive)
 }
 
-// Result is one measured operating point.
+// Result is one measured operating point. The JSON tags define the
+// machine-readable manifest row format (see Manifest); renaming a field is
+// a manifest schema change.
 type Result struct {
-	System         string
-	Workload       string
-	Rate           float64 // offered flits/cycle/node
-	MeanLatency    float64 // cycles, creation→delivery
-	NetLatency     float64 // cycles, injection→delivery
-	P99Latency     int64
-	StdDev         float64
-	Throughput     float64 // accepted flits/cycle/node
-	EnergyPJ       float64 // per packet
-	EnergyOnChipPJ float64
-	EnergyIfacePJ  float64
-	Packets        int64
-	HopsOnChip     float64
-	HopsIface      float64 // parallel+serial+hetero
-	Saturated      bool
+	System         string  `json:"system"`
+	Workload       string  `json:"workload"`
+	Rate           float64 `json:"offered_rate"` // offered flits/cycle/node
+	MeanLatency    float64 `json:"mean_latency"` // cycles, creation→delivery
+	NetLatency     float64 `json:"net_latency"`  // cycles, injection→delivery
+	P99Latency     int64   `json:"p99_latency"`
+	StdDev         float64 `json:"stddev"`
+	Throughput     float64 `json:"throughput"`        // accepted flits/cycle/node
+	EnergyPJ       float64 `json:"energy_pj_per_pkt"` // per packet
+	EnergyOnChipPJ float64 `json:"energy_onchip_pj"`
+	EnergyIfacePJ  float64 `json:"energy_iface_pj"`
+	Packets        int64   `json:"packets"`
+	HopsOnChip     float64 `json:"hops_onchip"`
+	HopsIface      float64 `json:"hops_iface"` // parallel+serial+hetero
+	Saturated      bool    `json:"saturated"`
 }
 
 // Measure summarizes the instance's collector into a Result.

@@ -28,6 +28,6 @@ func runTable4(o Options, w io.Writer) error {
 	reg, het := reports[2], reports[3]
 	fmt.Fprintf(w, "\nhetero vs regular router: area %+0.0f%%, power %+0.0f%%, freq %0.0f%% of regular\n",
 		100*(het.AreaUM2/reg.AreaUM2-1), 100*(het.PowerMW/reg.PowerMW-1), 100*het.FreqGHz/reg.FreqGHz)
-	return writeCSV(o.CSVDir, "table4",
+	return emitTable(o, "table4",
 		[]string{"module", "area_um2", "power_mw", "fj_per_bit", "freq_ghz", "critical_path_ns"}, rows)
 }

@@ -60,7 +60,7 @@ func runTopo(o Options, w io.Writer) error {
 			})
 		}
 	}
-	return writeCSV(o.CSVDir, "topo", []string{
+	return emitTable(o, "topo", []string{
 		"scale", "system", "hop_diameter", "hop_avg", "latency_diameter", "latency_avg", "bisection_flits", "interface_bw",
 	}, rows)
 }

@@ -1,0 +1,48 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRunningAgainstDirectComputation(t *testing.T) {
+	xs := []float64{3.1, -2.7, 0, 41.5, 8.8, 8.8, 1e-3}
+	var r Running
+	for _, x := range xs {
+		r.Add(x)
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	sq := 0.0
+	for _, x := range xs {
+		sq += (x - mean) * (x - mean)
+	}
+	variance := sq / float64(len(xs))
+
+	if r.Count() != int64(len(xs)) {
+		t.Fatalf("count %d, want %d", r.Count(), len(xs))
+	}
+	if math.Abs(r.Mean()-mean) > 1e-12 {
+		t.Fatalf("mean %g, want %g", r.Mean(), mean)
+	}
+	if math.Abs(r.Variance()-variance) > 1e-9 {
+		t.Fatalf("variance %g, want %g", r.Variance(), variance)
+	}
+	if math.Abs(r.StdDev()-math.Sqrt(variance)) > 1e-9 {
+		t.Fatalf("stddev %g, want %g", r.StdDev(), math.Sqrt(variance))
+	}
+}
+
+func TestRunningDegenerate(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Variance() != 0 || r.StdDev() != 0 || r.Count() != 0 {
+		t.Fatal("empty estimator must report zeros")
+	}
+	r.Add(5)
+	if r.Mean() != 5 || r.Variance() != 0 {
+		t.Fatalf("single sample: mean %g variance %g", r.Mean(), r.Variance())
+	}
+}

@@ -228,3 +228,43 @@ func (c *Collector) ClassPercentile(class uint8, q float64) int64 {
 func (c *Collector) Reset() {
 	*c = Collector{Warmup: c.Warmup}
 }
+
+// Running is an online mean/variance estimator (Welford's algorithm): O(1)
+// memory, numerically stable, usable one sample at a time. The sweep
+// orchestrator feeds it per-job wall-clock durations to estimate ETAs; it
+// is equally suited to any streaming aggregate.
+type Running struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add folds one sample into the estimate.
+func (r *Running) Add(x float64) {
+	r.n++
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// Count returns the number of samples seen.
+func (r *Running) Count() int64 { return r.n }
+
+// Mean returns the running mean (0 with no samples).
+func (r *Running) Mean() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.mean
+}
+
+// Variance returns the running population variance (0 with < 2 samples).
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n)
+}
+
+// StdDev returns the running population standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
