@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench experiments experiments-full examples vet fmt-check smoke ci clean
+.PHONY: all build test race bench bench-kernel bench-smoke experiments experiments-full examples vet fmt-check smoke ci clean
 
 all: build test
 
@@ -32,10 +32,21 @@ smoke:
 	$(GO) run ./cmd/checkmanifest results-ci/BENCH_fig11.json
 
 # Everything .github/workflows/ci.yml runs, locally.
-ci: build vet fmt-check test race smoke
+ci: build vet fmt-check test race bench-smoke smoke
 
-bench:
+bench: bench-kernel
 	$(GO) test -bench=. -benchmem ./...
+
+# Kernel baseline: run the netbench suite (idle/low-load/saturated meshes
+# at 16/64/256 nodes) and record BENCH_kernel.json at the repo root.
+bench-kernel:
+	$(GO) run ./cmd/benchkernel -o BENCH_kernel.json
+
+# Fast CI gate over the same kernels: 100 iterations per case plus the
+# idle zero-allocation assertion. Catches gross regressions in seconds.
+bench-smoke:
+	$(GO) test -run '^$$' -bench Step -benchtime=100x -benchmem ./internal/network
+	$(GO) test -run TestStepIdleZeroAllocs ./internal/network
 
 # CI-scale reproduction of every table and figure, with CSV output.
 experiments:

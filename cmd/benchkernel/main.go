@@ -1,0 +1,99 @@
+// Command benchkernel records the cycle-engine kernel baseline: it runs
+// the netbench suite (idle / low-load / saturated meshes at 16, 64 and
+// 256 nodes — the same cases as BenchmarkStep in internal/network) and
+// writes a JSON manifest so the engine's performance trajectory can be
+// tracked across commits.
+//
+// Usage:
+//
+//	benchkernel -o BENCH_kernel.json            # full run (~1s per case)
+//	benchkernel -test.benchtime=100x -o /dev/stdout  # CI smoke scale
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"testing"
+
+	"heteroif/internal/network/netbench"
+)
+
+// caseResult is one benchmark case in the manifest. cycles_per_sec is the
+// headline number (simulated cycles per wall-clock second, from the
+// benchmark's cycles/sec metric); allocs_per_op and bytes_per_op pin the
+// steady-state allocation behaviour (idle cases must report 0).
+type caseResult struct {
+	Name         string  `json:"name"`
+	Nodes        int     `json:"nodes"`
+	CyclesPerOp  int64   `json:"cycles_per_op"`
+	Iterations   int     `json:"iterations"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+}
+
+type manifest struct {
+	Schema     string       `json:"schema"`
+	Git        string       `json:"git,omitempty"`
+	GoVersion  string       `json:"go_version"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Cases      []caseResult `json:"cases"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_kernel.json", "output path for the JSON manifest")
+	testing.Init() // exposes -test.benchtime etc. for CI smoke runs
+	flag.Parse()
+
+	m := manifest{
+		Schema:     "heteroif-bench-kernel/v1",
+		Git:        gitDescribe(),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, c := range netbench.Cases() {
+		r := testing.Benchmark(c.Bench)
+		cr := caseResult{
+			Name:        c.Name,
+			Nodes:       c.Nodes,
+			CyclesPerOp: c.CyclesPerOp,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if v, ok := r.Extra["cycles/sec"]; ok {
+			cr.CyclesPerSec = v
+		}
+		m.Cases = append(m.Cases, cr)
+		fmt.Printf("%-22s %12.1f ns/op %14.0f cycles/sec %6d allocs/op\n",
+			cr.Name, cr.NsPerOp, cr.CyclesPerSec, cr.AllocsPerOp)
+	}
+
+	enc, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchkernel:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchkernel:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", *out)
+}
+
+// gitDescribe stamps the manifest with the producing tree's version; empty
+// outside a git checkout.
+func gitDescribe() string {
+	o, err := exec.Command("git", "describe", "--always", "--dirty", "--tags").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(o))
+}

@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -42,9 +44,42 @@ func main() {
 			"results are bit-identical for any value)")
 		jobTimeout = flag.Duration("job-timeout", 0, "per-point wall-clock timeout; an expired point is reported "+
 			"as failed instead of hanging the sweep (0 = unbounded)")
-		list = flag.Bool("list", false, "list available experiments")
+		list       = flag.Bool("list", false, "list available experiments")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hetsim: cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "hetsim: cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hetsim: memprofile:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "hetsim: memprofile:", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	if *spec != "" {
 		c, err := experiments.LoadCustomRunFile(*spec)

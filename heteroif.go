@@ -175,7 +175,7 @@ func Replay(sys *System, tr *Trace, speedup float64) error {
 	if err != nil {
 		return err
 	}
-	return sys.Net.Run(sys.Net.Cfg.SimCycles, rep.Drive)
+	return sys.Net.RunWith(sys.Net.Cfg.SimCycles, rep.Drive, rep.NextInjection)
 }
 
 // LocalUniformTraffic confines uniform traffic to blocks of

@@ -33,7 +33,10 @@ func replayPoint(v variant, tr *trace.Trace, speedup float64, energyBias bool) (
 		return Result{}, err
 	}
 	rep.MeasureFrom = v.Cfg.WarmupCycles
-	if err := in.Net.Run(v.Cfg.SimCycles, rep.Drive); err != nil {
+	// Trace gaps are fast-forwarded: the replayer publishes its next
+	// injection time, so idle stretches between communication phases cost
+	// nothing.
+	if err := in.Net.RunWith(v.Cfg.SimCycles, rep.Drive, rep.NextInjection); err != nil {
 		return Result{}, fmt.Errorf("%s/%s: %w", v.Name, tr.Name, err)
 	}
 	r := in.Measure(v.Name, tr.Name, rep.ActualOfferedRate(in.Net.Now, in.Topo.N))

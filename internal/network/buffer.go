@@ -30,11 +30,17 @@ func (q *FlitQueue) Empty() bool { return q.n == 0 }
 
 // Push appends a flit. It reports false (dropping nothing) when full; flow
 // control is supposed to prevent that, and callers treat false as a bug.
+// Indices wrap by conditional subtraction, not modulo: head and n are both
+// < len(buf), and the engine hits these paths once per flit movement.
 func (q *FlitQueue) Push(f Flit) bool {
 	if q.n == len(q.buf) {
 		return false
 	}
-	q.buf[(q.head+q.n)%len(q.buf)] = f
+	i := q.head + q.n
+	if i >= len(q.buf) {
+		i -= len(q.buf)
+	}
+	q.buf[i] = f
 	q.n++
 	return true
 }
@@ -44,14 +50,23 @@ func (q *FlitQueue) Push(f Flit) bool {
 func (q *FlitQueue) Front() Flit { return q.buf[q.head] }
 
 // At returns the i-th oldest flit (0 = front). It must be in range.
-func (q *FlitQueue) At(i int) Flit { return q.buf[(q.head+i)%len(q.buf)] }
+func (q *FlitQueue) At(i int) Flit {
+	j := q.head + i
+	if j >= len(q.buf) {
+		j -= len(q.buf)
+	}
+	return q.buf[j]
+}
 
 // Pop removes and returns the oldest flit. It must not be called on an
 // empty queue.
 func (q *FlitQueue) Pop() Flit {
 	f := q.buf[q.head]
 	q.buf[q.head] = Flit{}
-	q.head = (q.head + 1) % len(q.buf)
+	q.head++
+	if q.head == len(q.buf) {
+		q.head = 0
+	}
 	q.n--
 	return f
 }

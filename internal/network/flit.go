@@ -11,6 +11,30 @@
 // takes one cycle; cross-chiplet interfaces are modeled as behavioral
 // pipelines in the on-chip clock domain (one pipeline stage per cycle of
 // interface latency, bandwidth-many flits per stage).
+//
+// The cycle engine is activity-tracked: wake lists (busy links) and wake
+// bitmaps (routers with buffered flits, sources with queued packets) limit
+// each cycle to components that can make progress, and RunWith
+// fast-forwards the clock across stretches where the network is provably
+// idle. Both optimizations preserve bit-identical results for every seed
+// and worker count. The invariants that make this safe:
+//
+//   - A component off its wake list would have been a no-op to visit: an
+//     idle link advances nothing, an empty router tick and an empty source
+//     scan change no state.
+//   - Wake structures are scanned in ascending index order, so iteration
+//     order among the components actually visited — and therefore
+//     floating-point accumulation order in the packet sink — matches the
+//     dense loops exactly.
+//   - Fast-forward requires full quiescence: flitsIn == flitsOut AND every
+//     wake list empty (an in-flight credit blocks idleness), and never a
+//     deadlocked state (flitsIn > flitsOut), so the watchdog still trips
+//     at the unoptimized cycle. Drivers that must observe every cycle pass
+//     a nil next-injection callback, which disables skipping.
+//   - In parallel mode, wake-bitmap words are owned by exactly one worker
+//     (64-aligned shard bounds); cross-shard wake-ups travel through
+//     per-worker scratch and are applied by the deterministic
+//     single-threaded merge.
 package network
 
 import "fmt"

@@ -56,6 +56,14 @@ type Link struct {
 
 	accepted int // flits accepted this cycle (plain pipeline rate limit)
 
+	// fwdQueued/crQueued record membership in the engine's forward and
+	// credit wake lists (see the package comment): set when a flit/credit
+	// enters the respective pipeline, cleared by the wake-list scan once the
+	// pipeline drains. They exist so Accept/ReturnCredit enqueue a link at
+	// most once per transition from empty to busy.
+	fwdQueued bool
+	crQueued  bool
+
 	// SentTotal counts flits ever accepted (utilization diagnostics).
 	SentTotal uint64
 }
@@ -160,4 +168,17 @@ func (l *Link) InFlight() int {
 // Busy reports whether the link holds any flits or credits in flight.
 func (l *Link) Busy() bool {
 	return l.InFlight() > 0 || l.creditsInFlight > 0 || (l.Adapter == nil && l.accepted > 0)
+}
+
+// fwdBusy reports whether the forward direction still needs per-cycle
+// Arrivals ticks. For adapter links that is exactly "flits resident inside
+// the adapter": an empty adapter's Tick is observationally a no-op (empty
+// pipelines advance in place, the reorder buffer releases nothing, and the
+// per-cycle issue budgets were already left full by the tick that drained
+// it), so skipping it cannot change results.
+func (l *Link) fwdBusy() bool {
+	if l.Adapter != nil {
+		return l.Adapter.InFlight() > 0
+	}
+	return l.inFlight > 0 || l.accepted > 0
 }

@@ -1,0 +1,225 @@
+// Package netbench builds small self-contained systems for benchmarking
+// the cycle engine in isolation: an on-chip 2D mesh with dimension-order
+// routing and deterministic, schedule-driven load at three operating
+// points (idle, low load, saturated). It exists so that both the
+// BenchmarkStep suite in internal/network and cmd/benchkernel (which
+// records the BENCH_kernel.json perf-trajectory manifest) exercise exactly
+// the same kernels. It deliberately avoids internal/topology and
+// internal/traffic: the benchmark measures Network.Step, not topology
+// construction or Bernoulli sampling.
+package netbench
+
+import (
+	"fmt"
+	"testing"
+
+	"heteroif/internal/network"
+)
+
+// Direction indices into xyRouting.ports.
+const (
+	dirPX = iota
+	dirNX
+	dirPY
+	dirNY
+)
+
+// xyRouting is deterministic dimension-order (X then Y) routing on a
+// side×side mesh — deadlock-free with a single escape candidate per hop.
+type xyRouting struct {
+	side   int
+	vcMask uint16
+	ports  [][4]int
+}
+
+func (x *xyRouting) Name() string { return "bench-xy" }
+
+func (x *xyRouting) Route(_ *network.Network, r *network.Router, _ int, pkt *network.Packet, buf []network.Candidate) []network.Candidate {
+	id := int(r.ID)
+	cx, cy := id%x.side, id/x.side
+	d := int(pkt.Dst)
+	dx, dy := d%x.side, d/x.side
+	var dir int
+	switch {
+	case dx > cx:
+		dir = dirPX
+	case dx < cx:
+		dir = dirNX
+	case dy > cy:
+		dir = dirPY
+	default:
+		dir = dirNY
+	}
+	return append(buf, network.Candidate{Port: x.ports[id][dir], VCMask: x.vcMask, Escape: true})
+}
+
+// BuildMesh constructs a side×side on-chip mesh with XY routing, finalized
+// and ready to step. The configuration is the paper's Table 2 defaults
+// with invariant checks off (benchmark mode).
+func BuildMesh(side int) *network.Network {
+	cfg := network.DefaultConfig()
+	net, err := network.New(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("netbench: %v", err))
+	}
+	n := side * side
+	net.AddNodes(n)
+	rt := &xyRouting{side: side, vcMask: uint16(1<<cfg.VCs) - 1, ports: make([][4]int, n)}
+	connect := func(a, b, dir int) {
+		l := net.Connect(network.KindOnChip, network.NodeID(a), network.NodeID(b))
+		rt.ports[a][dir] = l.SrcPort
+	}
+	for y := 0; y < side; y++ {
+		for xx := 0; xx < side; xx++ {
+			id := y*side + xx
+			if xx+1 < side {
+				connect(id, id+1, dirPX)
+				connect(id+1, id, dirNX)
+			}
+			if y+1 < side {
+				connect(id, id+side, dirPY)
+				connect(id+side, id, dirNY)
+			}
+		}
+	}
+	net.Routing = rt
+	net.Finalize()
+	net.PoolPackets = true
+	return net
+}
+
+// Schedule is a deterministic low-load driver: every Interval cycles one
+// node sends one packet across the mesh. Between events the network drains
+// completely, so an activity-tracked engine can fast-forward the gaps.
+// NextInjection exposes the schedule to Network.RunWith.
+type Schedule struct {
+	Net      *network.Network
+	Interval int64
+	Length   int
+	k        int64
+}
+
+// Drive implements the per-cycle injection callback for Network.RunWith.
+func (s *Schedule) Drive(now int64) {
+	if now%s.Interval != 0 {
+		return
+	}
+	n := len(s.Net.Nodes)
+	src := int((s.k * 7) % int64(n))
+	dst := (src + n/2 + int(s.k%3)) % n
+	if dst == src {
+		dst = (dst + 1) % n
+	}
+	s.Net.Offer(s.Net.NewPacket(network.NodeID(src), network.NodeID(dst), s.Length, now))
+	s.k++
+}
+
+// NextInjection reports the next cycle ≥ now at which Drive may offer a
+// packet: the next multiple of Interval.
+func (s *Schedule) NextInjection(now int64) int64 {
+	return (now + s.Interval - 1) / s.Interval * s.Interval
+}
+
+// Saturator keeps every source queue non-empty so the mesh runs at its
+// saturation throughput: whenever the backlog of undelivered-and-uninjected
+// packets drops below one per node it tops every queue up by one packet.
+type Saturator struct {
+	Net     *network.Network
+	Length  int
+	offered int64
+}
+
+// Drive implements the per-cycle injection callback.
+func (d *Saturator) Drive(now int64) {
+	n := int64(len(d.Net.Nodes))
+	if d.offered-d.Net.PacketsInjected() >= n {
+		return
+	}
+	for src := int64(0); src < n; src++ {
+		dst := (src + n/2 + now%7) % n
+		if dst == src {
+			dst = (dst + 1) % n
+		}
+		d.Net.Offer(d.Net.NewPacket(network.NodeID(src), network.NodeID(dst), d.Length, now))
+	}
+	d.offered += n
+}
+
+// Case is one kernel benchmark: a named operating point plus how many
+// simulated cycles one benchmark op advances (for cycles/sec accounting).
+type Case struct {
+	Name        string
+	Nodes       int
+	CyclesPerOp int64
+	Bench       func(b *testing.B)
+}
+
+// lowLoadChunk is how many cycles one low-load benchmark op simulates; it
+// spans several Schedule events so fast-forward gaps dominate, as they do
+// in the low-load half of a latency sweep.
+const lowLoadChunk = 1024
+
+// Cases returns the kernel benchmark suite: idle, low-load and saturated
+// meshes at 16, 64 and 256 nodes.
+func Cases() []Case {
+	var cs []Case
+	for _, side := range []int{4, 8, 16} {
+		side := side
+		n := side * side
+		cs = append(cs,
+			Case{
+				Name: fmt.Sprintf("idle/%dnodes", n), Nodes: n, CyclesPerOp: 1,
+				Bench: func(b *testing.B) {
+					net := BuildMesh(side)
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						net.Step()
+					}
+					reportCyclesPerSec(b, 1)
+				},
+			},
+			Case{
+				Name: fmt.Sprintf("lowload/%dnodes", n), Nodes: n, CyclesPerOp: lowLoadChunk,
+				Bench: func(b *testing.B) {
+					net := BuildMesh(side)
+					sched := &Schedule{Net: net, Interval: 200, Length: net.Cfg.PacketLength}
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if err := net.RunWith(lowLoadChunk, sched.Drive, sched.NextInjection); err != nil {
+							b.Fatal(err)
+						}
+					}
+					reportCyclesPerSec(b, lowLoadChunk)
+				},
+			},
+			Case{
+				Name: fmt.Sprintf("saturated/%dnodes", n), Nodes: n, CyclesPerOp: 1,
+				Bench: func(b *testing.B) {
+					net := BuildMesh(side)
+					sat := &Saturator{Net: net, Length: net.Cfg.PacketLength}
+					// Reach steady-state saturation before measuring.
+					for net.Now < 2000 {
+						sat.Drive(net.Now)
+						net.Step()
+					}
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						sat.Drive(net.Now)
+						net.Step()
+					}
+					reportCyclesPerSec(b, 1)
+				},
+			},
+		)
+	}
+	return cs
+}
+
+func reportCyclesPerSec(b *testing.B, cyclesPerOp int64) {
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)*float64(cyclesPerOp)/sec, "cycles/sec")
+	}
+}

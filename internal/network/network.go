@@ -2,6 +2,7 @@ package network
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 )
 
@@ -34,7 +35,27 @@ type Network struct {
 	// (injection, hops, ejection, allocation failures) for debugging.
 	Tracer Tracer
 
+	// PoolPackets recycles delivered Packet structs through a free list
+	// (NewPacket reuses them after Sink returns). Enable only when no Sink
+	// or Tracer retains *Packet pointers past the Sink call; the built-in
+	// experiment runners copy into value structs and qualify.
+	PoolPackets bool
+
 	sources []source
+
+	// Wake state (see the package comment in flit.go): per-cycle work is
+	// found here instead of by scanning every component. nodeWake/srcWake
+	// are bitmaps over node indices — bitmap scans yield ascending order,
+	// which Sink-order determinism requires. fwdWake/crWake list links with
+	// non-empty forward/credit pipelines (membership mirrored by
+	// Link.fwdQueued/crQueued); parallel mode keeps these per shard inside
+	// parallelState instead.
+	nodeWake []uint64
+	srcWake  []uint64
+	fwdWake  []int32
+	crWake   []int32
+
+	pktFree []*Packet
 
 	nextPktID  uint64
 	flitsIn    int64 // flits injected into the network
@@ -116,27 +137,99 @@ func (net *Network) Connect(kind LinkKind, a, b NodeID) *Link {
 func (net *Network) SetAdapter(l *Link, a Adapter) { l.Adapter = a }
 
 // Finalize must be called after topology construction and before the first
-// Step: it pre-binds the per-link delivery closures.
+// Step: it pre-binds the per-link delivery closures and builds the wake
+// state.
 func (net *Network) Finalize() {
 	net.deliverFns = make([]func(Flit), len(net.Links))
 	net.creditFns = make([]func(VCID), len(net.Links))
 	for i, l := range net.Links {
 		dst := net.Nodes[l.Dst]
 		port := l.DstPort
+		wi, bit := uint(l.Dst)>>6, uint64(1)<<(uint(l.Dst)&63)
 		net.deliverFns[i] = func(f Flit) {
 			dst.deliver(port, f)
+			net.nodeWake[wi] |= bit
 			net.moved++
 		}
 		out := net.Nodes[l.Src].Out[l.SrcPort]
 		net.creditFns[i] = func(vc VCID) { out.Credits[vc]++ }
 	}
+	net.rebuildWake()
 }
 
-// NewPacket allocates a packet with a fresh ID. The caller fills class and
-// priority, then Offers it.
+// wakeNode marks a router as having buffered flits to process.
+func (net *Network) wakeNode(id NodeID) {
+	net.nodeWake[uint(id)>>6] |= 1 << (uint(id) & 63)
+}
+
+// rebuildWake recomputes every wake structure from current component state.
+// Finalize and SetWorkers call it after topology or sharding changes; it is
+// O(network), never per-cycle.
+func (net *Network) rebuildWake() {
+	words := (len(net.Nodes) + 63) / 64
+	if len(net.nodeWake) != words {
+		net.nodeWake = make([]uint64, words)
+		net.srcWake = make([]uint64, words)
+	}
+	for i := range net.nodeWake {
+		net.nodeWake[i] = 0
+		net.srcWake[i] = 0
+	}
+	for i, r := range net.Nodes {
+		if r.buffered > 0 {
+			net.wakeNode(NodeID(i))
+		}
+	}
+	for i := range net.sources {
+		s := &net.sources[i]
+		if s.cur != nil || s.head < len(s.q) {
+			net.srcWake[i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+	net.fwdWake = net.fwdWake[:0]
+	net.crWake = net.crWake[:0]
+	if p := net.par; p != nil {
+		for w := range p.fwdWake {
+			p.fwdWake[w] = p.fwdWake[w][:0]
+			p.crWake[w] = p.crWake[w][:0]
+		}
+	}
+	for i, l := range net.Links {
+		l.fwdQueued = l.fwdBusy()
+		l.crQueued = l.creditsInFlight > 0
+		if p := net.par; p != nil {
+			if l.fwdQueued {
+				d := p.linkDstShard[i]
+				p.fwdWake[d] = append(p.fwdWake[d], int32(i))
+			}
+			if l.crQueued {
+				s := p.linkSrcShard[i]
+				p.crWake[s] = append(p.crWake[s], int32(i))
+			}
+			continue
+		}
+		if l.fwdQueued {
+			net.fwdWake = append(net.fwdWake, int32(i))
+		}
+		if l.crQueued {
+			net.crWake = append(net.crWake, int32(i))
+		}
+	}
+}
+
+// NewPacket allocates a packet with a fresh ID, reusing a delivered packet
+// from the free list when PoolPackets is enabled. The caller fills class
+// and priority, then Offers it.
 func (net *Network) NewPacket(src, dst NodeID, length int, createdAt int64) *Packet {
 	net.nextPktID++
-	return &Packet{
+	p := (*Packet)(nil)
+	if n := len(net.pktFree); n > 0 {
+		p = net.pktFree[n-1]
+		net.pktFree = net.pktFree[:n-1]
+	} else {
+		p = new(Packet)
+	}
+	*p = Packet{
 		ID:        net.nextPktID,
 		Src:       src,
 		Dst:       dst,
@@ -145,6 +238,7 @@ func (net *Network) NewPacket(src, dst NodeID, length int, createdAt int64) *Pac
 		ArrivedAt: -1,
 		Target:    -1,
 	}
+	return p
 }
 
 // Offer appends a packet to its source node's injection queue. Packets must
@@ -155,9 +249,15 @@ func (net *Network) Offer(p *Packet) {
 	}
 	s := &net.sources[p.Src]
 	s.q = append(s.q, p)
+	if net.srcWake != nil {
+		net.srcWake[p.Src>>6] |= 1 << (uint(p.Src) & 63)
+	}
 }
 
-// Step advances the network by one cycle.
+// Step advances the network by one cycle. Work is found through the wake
+// state, so per-cycle cost scales with in-flight traffic, not topology
+// size; a skipped component is always one whose tick would have been a
+// no-op, keeping results bit-identical to exhaustive scanning.
 func (net *Network) Step() {
 	if net.par != nil {
 		net.stepParallel()
@@ -165,30 +265,87 @@ func (net *Network) Step() {
 	}
 	net.moved = 0
 
-	// Phase 1: link arrivals and credit returns.
-	for i, l := range net.Links {
-		if !l.Busy() {
-			continue
+	// Phase 1: link arrivals, then credit returns. Only links on the wake
+	// lists can hold work. Processing order within a list is immaterial:
+	// each link writes disjoint router state (arrivals the Dst input
+	// buffers, credits the Src output counters) and the shared movement
+	// counter is a commutative sum.
+	if len(net.fwdWake) > 0 {
+		keep := net.fwdWake[:0]
+		for _, li := range net.fwdWake {
+			l := net.Links[li]
+			l.Arrivals(net.Now, net.deliverFns[li])
+			if l.fwdBusy() {
+				keep = append(keep, li)
+			} else {
+				l.fwdQueued = false
+			}
 		}
-		l.Arrivals(net.Now, net.deliverFns[i])
-		l.CreditArrivals(net.creditFns[i])
+		net.fwdWake = keep
+	}
+	if len(net.crWake) > 0 {
+		keep := net.crWake[:0]
+		for _, li := range net.crWake {
+			l := net.Links[li]
+			l.CreditArrivals(net.creditFns[li])
+			if l.creditsInFlight > 0 {
+				keep = append(keep, li)
+			} else {
+				l.crQueued = false
+			}
+		}
+		net.crWake = keep
 	}
 
-	// Phase 2: router pipelines.
+	// Phase 2: router pipelines, ascending node order (Sink determinism
+	// depends on it — see the package comment).
 	sc := &net.seqScratch
 	ctx := tickContext{net: net, scratch: sc, tracer: net.Tracer}
-	for _, r := range net.Nodes {
-		r.tickCtx(&ctx)
-	}
+	net.tickNodes(&ctx, 0, len(net.nodeWake))
 
-	// Phase 3: injection.
-	for n := range net.sources {
-		net.injectNode(n, sc)
-	}
+	// Phase 3: injection, ascending node order.
+	net.injectNodes(sc, 0, len(net.srcWake))
 
 	net.mergeScratch(sc, net.Tracer != nil)
 	net.watchdog()
 	net.Now++
+}
+
+// tickNodes runs Phase 2 for the routers woken in nodeWake words
+// [wlo, whi), in ascending node order, clearing the bit of any router that
+// drained completely.
+func (net *Network) tickNodes(ctx *tickContext, wlo, whi int) {
+	for wi := wlo; wi < whi; wi++ {
+		w := net.nodeWake[wi]
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &^= 1 << uint(b)
+			r := net.Nodes[wi<<6+b]
+			r.tickCtx(ctx)
+			if r.buffered == 0 {
+				net.nodeWake[wi] &^= 1 << uint(b)
+			}
+		}
+	}
+}
+
+// injectNodes runs Phase 3 for the sources woken in srcWake words
+// [wlo, whi), in ascending node order, clearing the bit of any source whose
+// queue emptied.
+func (net *Network) injectNodes(sc *workerScratch, wlo, whi int) {
+	for wi := wlo; wi < whi; wi++ {
+		w := net.srcWake[wi]
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &^= 1 << uint(b)
+			ni := wi<<6 + b
+			net.injectNode(ni, sc)
+			s := &net.sources[ni]
+			if s.cur == nil && s.head == len(s.q) {
+				net.srcWake[wi] &^= 1 << uint(b)
+			}
+		}
+	}
 }
 
 // mergeScratch folds per-phase accumulators into the network counters and
@@ -211,8 +368,27 @@ func (net *Network) mergeScratch(sc *workerScratch, traceEjects bool) {
 		if net.Sink != nil {
 			net.Sink(pkt)
 		}
+		if net.PoolPackets {
+			net.pktFree = append(net.pktFree, pkt)
+		}
 	}
-	*sc = workerScratch{finished: sc.finished[:0]}
+	// Fold links woken by this shard's routers into the wake lists. A
+	// shard's routers may source links of any shard, so distribution runs
+	// here on the coordinator, not on the workers.
+	if p := net.par; p != nil {
+		for _, li := range sc.wokeFwd {
+			d := p.linkDstShard[li]
+			p.fwdWake[d] = append(p.fwdWake[d], li)
+		}
+		for _, li := range sc.wokeCr {
+			s := p.linkSrcShard[li]
+			p.crWake[s] = append(p.crWake[s], li)
+		}
+	} else {
+		net.fwdWake = append(net.fwdWake, sc.wokeFwd...)
+		net.crWake = append(net.crWake, sc.wokeCr...)
+	}
+	*sc = workerScratch{finished: sc.finished[:0], wokeFwd: sc.wokeFwd[:0], wokeCr: sc.wokeCr[:0]}
 }
 
 // watchdog advances the deadlock detector after a cycle's movement count
@@ -254,20 +430,25 @@ func (net *Network) injectNode(n int, sc *workerScratch) {
 				// Pick the injection VC with the most free space, with the
 				// same class affinity as VC allocation (latency-sensitive
 				// high, throughput low) so control packets do not queue
-				// behind bulk transfers at the source.
+				// behind bulk transfers at the source. Throughput packets
+				// stop at the first eligible VC — nothing later in the scan
+				// can displace the lowest one.
 				best, bestFree := -1, 0
 				for v := range in.VCs {
 					f := in.VCs[v].Buf.Free()
 					if f == 0 {
 						continue
 					}
-					switch {
-					case best < 0:
+					if best < 0 {
 						best, bestFree = v, f
+						if p.Class == ClassThroughput {
+							break
+						}
+						continue
+					}
+					switch {
 					case p.Class == ClassLatencySensitive:
 						best, bestFree = v, f // highest eligible VC
-					case p.Class == ClassThroughput:
-						// keep the lowest eligible VC
 					case f > bestFree:
 						best, bestFree = v, f
 					}
@@ -288,6 +469,9 @@ func (net *Network) injectNode(n int, sc *workerScratch) {
 				}
 			}
 			vc := &in.VCs[s.curVC]
+			if budget > 0 && s.curSeq < int32(s.cur.Length) && vc.Buf.Free() > 0 {
+				net.wakeNode(r.ID)
+			}
 			for budget > 0 && s.curSeq < int32(s.cur.Length) && vc.Buf.Free() > 0 {
 				vc.Buf.Push(Flit{Pkt: s.cur, Seq: s.curSeq, VC: s.curVC})
 				r.buffered++
@@ -309,6 +493,22 @@ func (net *Network) injectNode(n int, sc *workerScratch) {
 // (which may be nil) at the start of every cycle so traffic generators can
 // Offer packets. It returns a deadlock error if the watchdog fires.
 func (net *Network) Run(cycles int64, drive func(now int64)) error {
+	return net.RunWith(cycles, drive, nil)
+}
+
+// RunWith is Run with a fast-forward contract: next, when non-nil, reports
+// the earliest cycle ≥ its argument at which drive may Offer a packet (or a
+// negative value for "never again"). When the network is quiescent the
+// engine skips Now directly to the next cycle at which anything can happen
+// instead of stepping idle cycles. A nil next with a non-nil drive disables
+// fast-forwarding entirely (the driver is assumed to need every cycle, as
+// Bernoulli generators do); a nil drive lets the engine skip to the next
+// source-queue injection time on its own. Results are bit-identical to
+// stepping every cycle: a skipped cycle is one in which Step would only
+// have advanced Now (no wake-list work, no eligible source, no driver
+// event, and the watchdog's idle streak already pinned to zero by
+// flitsIn == flitsOut).
+func (net *Network) RunWith(cycles int64, drive func(now int64), next func(now int64) int64) error {
 	end := net.Now + cycles
 	for net.Now < end {
 		if drive != nil {
@@ -318,18 +518,40 @@ func (net *Network) Run(cycles int64, drive func(now int64)) error {
 		if net.DeadlockAt >= 0 {
 			return fmt.Errorf("network: deadlock detected at cycle %d (%d flits stuck)", net.DeadlockAt, net.flitsIn-net.flitsOut)
 		}
+		if (drive != nil && next == nil) || !net.idle() {
+			continue
+		}
+		target := end
+		if t := net.nextSourceEvent(); t >= 0 && t < target {
+			target = t
+		}
+		if next != nil {
+			if t := next(net.Now); t >= 0 && t < target {
+				target = t
+			}
+		}
+		if target > net.Now {
+			net.Now = target
+		}
 	}
 	return nil
 }
 
 // Drain runs without new traffic until every in-flight and queued packet is
 // delivered, up to cfg.DrainCycles additional cycles. It reports whether
-// the network fully drained.
+// the network fully drained. An idle network with only future-timestamped
+// packets queued skips straight to the earliest of them.
 func (net *Network) Drain() (bool, error) {
 	deadline := net.Now + net.Cfg.DrainCycles
 	for net.Now < deadline {
 		if net.Quiescent() {
 			return true, nil
+		}
+		if net.idle() {
+			if t := net.nextSourceEvent(); t > net.Now {
+				net.Now = min(t, deadline)
+				continue
+			}
 		}
 		net.Step()
 		if net.DeadlockAt >= 0 {
@@ -337,6 +559,52 @@ func (net *Network) Drain() (bool, error) {
 		}
 	}
 	return net.Quiescent(), nil
+}
+
+// idle reports whether stepping the network would be a strict no-op: every
+// flit delivered and no link pipeline (forward or credit) still draining.
+// Credits in flight block idleness — skipping would deliver them late and
+// change downstream allocation timing.
+func (net *Network) idle() bool {
+	if net.flitsIn != net.flitsOut {
+		return false
+	}
+	if p := net.par; p != nil {
+		for w := 0; w < p.workers; w++ {
+			if len(p.fwdWake[w]) > 0 || len(p.crWake[w]) > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	return len(net.fwdWake) == 0 && len(net.crWake) == 0
+}
+
+// nextSourceEvent returns the earliest cycle at which a source queue can
+// inject: Now itself if any queue holds an eligible packet, the minimum
+// future CreatedAt otherwise, or -1 if every queue is empty.
+func (net *Network) nextSourceEvent() int64 {
+	next := int64(-1)
+	for wi, w := range net.srcWake {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &^= 1 << uint(b)
+			s := &net.sources[wi<<6+b]
+			if s.cur != nil {
+				return net.Now
+			}
+			if s.head < len(s.q) {
+				t := s.q[s.head].CreatedAt
+				if t <= net.Now {
+					return net.Now
+				}
+				if next < 0 || t < next {
+					next = t
+				}
+			}
+		}
+	}
+	return next
 }
 
 // Quiescent reports whether no packets are queued or in flight.

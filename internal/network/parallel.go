@@ -6,12 +6,21 @@ import "sync"
 // engine embarrassingly parallel *within* each phase once writes are
 // grouped by owner:
 //
-//   - link delivery writes only the destination router (group links by Dst);
-//   - credit completion writes only the source router (group links by Src);
+//   - link delivery writes only the destination router (links sharded by Dst);
+//   - credit completion writes only the source router (links sharded by Src);
 //   - a router tick writes its own state, the links it sources (Accept),
 //     the links it sinks (ReturnCredit) and the packets at its VC heads —
 //     all owned by exactly one router;
 //   - injection writes only the node's own source queue and buffers.
+//
+// Wake tracking is sharded the same way. Shard boundaries are aligned to
+// multiples of 64 nodes so every nodeWake/srcWake bitmap *word* has exactly
+// one owning worker: phase-1 deliveries set wake bits for destination
+// routers (their shard's words), phase 2 reads and clears its own words —
+// no word is ever written from two shards. Links woken by a router tick
+// (Accept/ReturnCredit on a possibly foreign-shard link) are recorded in
+// the worker's private scratch and folded into the owning shard's wake
+// list by the coordinator at the merge barrier.
 //
 // Shared aggregates (movement counters, grant/VA statistics, finished
 // packets) are accumulated per worker and merged at the barrier, and the
@@ -22,9 +31,19 @@ type parallelState struct {
 	workers int
 	wg      sync.WaitGroup
 
-	linksByDst [][]int // link indices grouped by destination-router shard
-	linksBySrc [][]int // link indices grouped by source-router shard
-	nodeShards [][]int // node indices per shard
+	// bounds[w]..bounds[w+1] is shard w's node range; interior boundaries
+	// are multiples of 64 (see above).
+	bounds []int
+
+	linkDstShard []int32 // owning shard of each link's forward wake entry
+	linkSrcShard []int32 // owning shard of each link's credit wake entry
+
+	fwdWake [][]int32 // per dst-shard links with non-empty forward pipelines
+	crWake  [][]int32 // per src-shard links with credits in flight
+
+	// deliverFns are the per-link delivery closures bound to the owning
+	// worker's scratch, the parallel twin of Network.deliverFns.
+	deliverFns []func(Flit)
 
 	scratch []workerScratch
 }
@@ -38,6 +57,8 @@ type workerScratch struct {
 	grantsByKind [8]uint64
 	vaFailures   uint64
 	finished     []*Packet
+	wokeFwd      []int32 // links whose forward pipeline went busy this tick
+	wokeCr       []int32 // links whose credit pipeline went busy this tick
 
 	_pad [64]byte // avoid false sharing between workers
 }
@@ -48,32 +69,61 @@ type workerScratch struct {
 func (net *Network) SetWorkers(n int) {
 	if n <= 1 {
 		net.par = nil
+		net.rebuildWake()
 		return
 	}
 	if net.Tracer != nil {
 		panic("network: parallel stepping does not support a Tracer (events would race); detach it first")
 	}
 	p := &parallelState{workers: n}
-	p.linksByDst = make([][]int, n)
-	p.linksBySrc = make([][]int, n)
-	p.nodeShards = make([][]int, n)
 	p.scratch = make([]workerScratch, n)
+	p.fwdWake = make([][]int32, n)
+	p.crWake = make([][]int32, n)
 	// Contiguous shard ranges: neighboring nodes share cache lines and most
 	// links stay within one worker's shard, which matters far more than
-	// perfect balance.
+	// perfect balance. Boundaries round to multiples of 64 so each wake
+	// bitmap word belongs to exactly one shard; on tiny networks early
+	// shards may come up empty, which only costs idle workers.
 	total := len(net.Nodes)
-	shardOf := func(node NodeID) int { return int(node) * n / total }
-	for i, l := range net.Links {
-		d := shardOf(l.Dst)
-		s := shardOf(l.Src)
-		p.linksByDst[d] = append(p.linksByDst[d], i)
-		p.linksBySrc[s] = append(p.linksBySrc[s], i)
+	p.bounds = make([]int, n+1)
+	p.bounds[n] = total
+	alignedMax := total &^ 63 // interior bounds stay aligned: never clamp to an unaligned total
+	for w := 1; w < n; w++ {
+		b := (w*total/n + 32) &^ 63
+		if b > alignedMax {
+			b = alignedMax
+		}
+		if b < p.bounds[w-1] {
+			b = p.bounds[w-1]
+		}
+		p.bounds[w] = b
 	}
-	for i := range net.Nodes {
-		sh := shardOf(NodeID(i))
-		p.nodeShards[sh] = append(p.nodeShards[sh], i)
+	nodeShard := make([]int32, total)
+	for i, w := 0, 0; i < total; i++ {
+		for w+1 < n && i >= p.bounds[w+1] {
+			w++
+		}
+		nodeShard[i] = int32(w)
+	}
+	p.linkDstShard = make([]int32, len(net.Links))
+	p.linkSrcShard = make([]int32, len(net.Links))
+	p.deliverFns = make([]func(Flit), len(net.Links))
+	for i, l := range net.Links {
+		d := nodeShard[l.Dst]
+		p.linkDstShard[i] = d
+		p.linkSrcShard[i] = nodeShard[l.Src]
+		dst := net.Nodes[l.Dst]
+		port := l.DstPort
+		sc := &p.scratch[d]
+		wi, bit := uint(l.Dst)>>6, uint64(1)<<(uint(l.Dst)&63)
+		p.deliverFns[i] = func(f Flit) {
+			dst.deliver(port, f)
+			net.nodeWake[wi] |= bit
+			sc.moved++
+		}
 	}
 	net.par = p
+	net.rebuildWake()
 }
 
 // stepParallel is Step's parallel twin.
@@ -82,52 +132,53 @@ func (net *Network) stepParallel() {
 	net.moved = 0
 
 	// Phase 1: link deliveries (sharded by destination router — they write
-	// that router's buffers) fused with credit completions (sharded by
-	// source router — they write that router's credit counters). The two
-	// halves touch disjoint Link fields (forward pipe vs credit pipe), so
-	// one barrier covers both.
+	// that router's buffers and wake bits) fused with credit completions
+	// (sharded by source router — they write that router's credit
+	// counters). The two halves touch disjoint Link fields (forward pipe
+	// and fwdQueued vs credit pipe and crQueued), so one barrier covers
+	// both.
 	p.run(func(w int) {
-		sc := &p.scratch[w]
-		for _, li := range p.linksByDst[w] {
-			l := net.Links[li]
-			if l.Adapter == nil && l.inFlight == 0 {
-				if l.accepted > 0 {
-					l.accepted = 0
+		if lw := p.fwdWake[w]; len(lw) > 0 {
+			keep := lw[:0]
+			for _, li := range lw {
+				l := net.Links[li]
+				l.Arrivals(net.Now, p.deliverFns[li])
+				if l.fwdBusy() {
+					keep = append(keep, li)
+				} else {
+					l.fwdQueued = false
 				}
-				continue
 			}
-			dst := net.Nodes[l.Dst]
-			port := l.DstPort
-			l.Arrivals(net.Now, func(f Flit) {
-				dst.deliver(port, f)
-				sc.moved++
-			})
+			p.fwdWake[w] = keep
 		}
-		for _, li := range p.linksBySrc[w] {
-			l := net.Links[li]
-			if l.creditsInFlight == 0 {
-				continue
+		if lw := p.crWake[w]; len(lw) > 0 {
+			keep := lw[:0]
+			for _, li := range lw {
+				l := net.Links[li]
+				l.CreditArrivals(net.creditFns[li])
+				if l.creditsInFlight > 0 {
+					keep = append(keep, li)
+				} else {
+					l.crQueued = false
+				}
 			}
-			out := net.Nodes[l.Src].Out[l.SrcPort]
-			l.CreditArrivals(func(vc VCID) { out.Credits[vc]++ })
+			p.crWake[w] = keep
 		}
 	})
 
-	// Phase 2: router pipelines fused with injection — both only write the
-	// shard's own routers, and injected flits are not observable elsewhere
-	// until the next cycle's link phase.
+	// Phase 2: router pipelines fused with injection — both only touch the
+	// shard's own routers and wake words, and injected flits are not
+	// observable elsewhere until the next cycle's link phase.
 	p.run(func(w int) {
 		sc := &p.scratch[w]
 		ctx := tickContext{net: net, scratch: sc}
-		for _, ni := range p.nodeShards[w] {
-			net.Nodes[ni].tickCtx(&ctx)
-		}
-		for _, ni := range p.nodeShards[w] {
-			net.injectNode(ni, sc)
-		}
+		wlo, whi := p.bounds[w]>>6, (p.bounds[w+1]+63)>>6
+		net.tickNodes(&ctx, wlo, whi)
+		net.injectNodes(sc, wlo, whi)
 	})
 
-	// Merge scratch and run sinks in deterministic (shard) order.
+	// Merge scratch, run sinks and distribute woken links in deterministic
+	// (shard) order.
 	for w := range p.scratch {
 		net.mergeScratch(&p.scratch[w], false)
 	}

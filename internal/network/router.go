@@ -404,9 +404,15 @@ func (r *Router) forward(ctx *tickContext, in *InPort, vc *VCState, out *OutPort
 	pkt := f.Pkt
 	f.EnergyPJ += net.Cfg.RouterPJPerFlit
 	f.EnergyOnChipPJ += net.Cfg.RouterPJPerFlit
-	// Return a credit to the upstream router.
+	// Return a credit to the upstream router and put the link's credit
+	// pipeline on the wake list; the scratch list is folded into the
+	// engine's per-shard lists at the merge barrier.
 	if in.Link != nil {
 		in.Link.ReturnCredit(inVC)
+		if !in.Link.crQueued {
+			in.Link.crQueued = true
+			ctx.scratch.wokeCr = append(ctx.scratch.wokeCr, int32(in.Link.ID))
+		}
 	}
 	if out.Link == nil {
 		// Ejection: fold the flit's accumulated energy into the packet
@@ -443,5 +449,9 @@ func (r *Router) forward(ctx *tickContext, in *InPort, vc *VCState, out *OutPort
 		panic("network: negative credits (switch allocation over-granted)")
 	}
 	f.VC = vc.OutVC
+	if !out.Link.fwdQueued {
+		out.Link.fwdQueued = true
+		ctx.scratch.wokeFwd = append(ctx.scratch.wokeFwd, int32(out.Link.ID))
+	}
 	out.Link.Accept(net.Now, f)
 }

@@ -91,6 +91,23 @@ func (r *Replayer) Drive(now int64) {
 	}
 }
 
+// NextInjection reports the earliest cycle ≥ now at which Drive can offer
+// a packet — the compressed time of the next unoffered record — or -1 once
+// the trace is exhausted. It implements network.RunWith's fast-forward
+// contract: trace gaps (common in application traces, Sec. 7.2) are skipped
+// without changing results, because Drive stamps CreatedAt with the cycle
+// at which the record becomes due either way.
+func (r *Replayer) NextInjection(now int64) int64 {
+	if r.idx >= len(r.Trace.Records) {
+		return -1
+	}
+	when := int64(float64(r.Trace.Records[r.idx].Time) / r.Speedup)
+	if when < now {
+		return now
+	}
+	return when
+}
+
 // Done reports whether every record has been offered.
 func (r *Replayer) Done() bool { return r.idx >= len(r.Trace.Records) }
 

@@ -232,6 +232,12 @@ func (g *Generator) Drive(now int64) {
 	}
 }
 
+// NextInjection always returns now: a Bernoulli process samples its RNG for
+// every node on every cycle, so no cycle may be fast-forwarded without
+// changing the random stream. Callers who want quiescence skipping must use
+// a driver with predictable injection times (e.g. trace.Replayer).
+func (g *Generator) NextInjection(now int64) int64 { return now }
+
 func (g *Generator) maybeInject(now int64, src, n int) {
 	if g.rng.Float64() >= g.prob {
 		return
