@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-kernel bench-smoke experiments experiments-full examples vet fmt-check smoke ci clean
+.PHONY: all build test race bench bench-kernel bench-smoke experiments experiments-full examples vet fmt-check smoke fault ci clean
 
 all: build test
 
@@ -16,7 +16,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/network ./internal/core ./internal/routing ./internal/sweep
+	$(GO) test -race -short ./...
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \
@@ -31,8 +31,16 @@ smoke:
 	test -f results-ci/BENCH_fig11.json
 	$(GO) run ./cmd/checkmanifest results-ci/BENCH_fig11.json
 
+# Fault-injection gate: reduced BER × policy sweep plus the scripted
+# serial-outage scenario (failover must stay live where the serial-only
+# baseline starves), then validate the JSON result manifest.
+fault:
+	$(GO) run ./cmd/hetsim -exp fault -tiny -jobs 2 -json results-ci
+	test -f results-ci/BENCH_fault.json
+	$(GO) run ./cmd/checkmanifest results-ci/BENCH_fault.json
+
 # Everything .github/workflows/ci.yml runs, locally.
-ci: build vet fmt-check test race bench-smoke smoke
+ci: build vet fmt-check test race bench-smoke smoke fault
 
 bench: bench-kernel
 	$(GO) test -bench=. -benchmem ./...

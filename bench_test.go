@@ -44,7 +44,8 @@ func BenchmarkFig17EnergyHPC(b *testing.B)             { benchExperiment(b, "fig
 func BenchmarkFig18EnergyLocality(b *testing.B)        { benchExperiment(b, "fig18") }
 func BenchmarkTopologyAnalysis(b *testing.B)           { benchExperiment(b, "topo") }
 func BenchmarkEconomyModel(b *testing.B)               { benchExperiment(b, "economy") }
-func BenchmarkFaultTolerance(b *testing.B)             { benchExperiment(b, "fault") }
+func BenchmarkFaultTolerance(b *testing.B)             { benchExperiment(b, "linkfail") }
+func BenchmarkFaultReliability(b *testing.B)           { benchExperiment(b, "fault") }
 func BenchmarkCompromisedIF(b *testing.B)              { benchExperiment(b, "compromised") }
 
 // Engine micro-benchmarks: raw simulation throughput per system kind,

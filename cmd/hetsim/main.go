@@ -44,6 +44,8 @@ func main() {
 			"results are bit-identical for any value)")
 		jobTimeout = flag.Duration("job-timeout", 0, "per-point wall-clock timeout; an expired point is reported "+
 			"as failed instead of hanging the sweep (0 = unbounded)")
+		ber        = flag.Float64("ber", 0, "serial-PHY bit-error rate for the fault experiment; nonzero overrides its BER sweep with {0, ber}")
+		faultseed  = flag.Int64("faultseed", 0, "fault-injection seed, independent of the workload seed (0 = derived)")
 		list       = flag.Bool("list", false, "list available experiments")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -113,6 +115,7 @@ func main() {
 	opts := experiments.Options{
 		Full: *full, Tiny: *tiny, CSVDir: *csv, Seed: *seed,
 		Workers: *workers, Jobs: *jobs, JobTimeout: *jobTimeout,
+		FaultBER: *ber, FaultSeed: *faultseed,
 	}
 	git := gitDescribe()
 	run := func(e experiments.Experiment) {

@@ -41,6 +41,16 @@ type HeteroPHYAdapter struct {
 	ppipe phyPipe
 	spipe phyPipe
 
+	// pRetry/sRetry, when non-nil, replace the corresponding plain PHY
+	// pipeline with the link-layer retry protocol (see
+	// network.RetryPipe). nil keeps the retry-free paths untouched.
+	pRetry *network.RetryPipe
+	sRetry *network.RetryPipe
+	// evict caches the policy's serial-eviction hook (set when retry is
+	// enabled and the policy implements it).
+	evict    serialEvictor
+	nRescued uint64
+
 	rob   *ROB
 	txSN  uint32
 	txVSN []uint32
@@ -140,18 +150,105 @@ func (a *HeteroPHYAdapter) Accept(now int64, f network.Flit) {
 
 // InFlight implements network.Adapter.
 func (a *HeteroPHYAdapter) InFlight() int {
-	return len(a.txq) + a.ppipe.inFlight + a.spipe.inFlight + a.rob.Occupancy()
+	n := len(a.txq) + a.ppipe.inFlight + a.spipe.inFlight + a.rob.Occupancy()
+	if a.pRetry != nil {
+		n += a.pRetry.InFlight()
+	}
+	if a.sRetry != nil {
+		n += a.sRetry.InFlight()
+	}
+	return n
+}
+
+// Busy implements network.Adapter: resident flits, plus — when a PHY runs
+// retry — protocol state (unacked replay entries, acks in flight) that
+// still needs ticks after the last flit was delivered.
+func (a *HeteroPHYAdapter) Busy() bool {
+	if a.InFlight() > 0 {
+		return true
+	}
+	return (a.pRetry != nil && a.pRetry.Busy()) || (a.sRetry != nil && a.sRetry.Busy())
+}
+
+// EnableRetry arms the link-layer retry protocol on one PHY of the
+// adapter, with the given fault hook (nil = reliable wire). window and
+// timeout <= 0 pick defaults from the PHY's bandwidth and delay. If the
+// scheduling policy implements the serial-eviction hook (FailoverPolicy),
+// the adapter wires it up so stuck serial flits can be rescued onto the
+// parallel PHY.
+func (a *HeteroPHYAdapter) EnableRetry(phy PHY, hook network.TxFault, window, timeout int) {
+	switch phy {
+	case PHYParallel:
+		a.pRetry = network.NewRetryPipe(a.parallelBW, a.delayParallel, window, timeout,
+			hook, a.pjParallel*float64(a.bits), false)
+	case PHYSerial:
+		a.sRetry = network.NewRetryPipe(a.serialBW, a.delaySerial, window, timeout,
+			hook, a.pjSerial*float64(a.bits), false)
+	}
+	if ev, ok := a.policy.(serialEvictor); ok {
+		a.evict = ev
+	}
 }
 
 // Tick implements network.Adapter: advance PHY pipelines into the ROB,
 // release in-order flits downstream, then issue queued flits to the PHYs.
 func (a *HeteroPHYAdapter) Tick(now int64, deliver func(network.Flit)) {
-	a.ppipe.advance(a.rob.Insert)
-	a.spipe.advance(a.rob.Insert)
+	if a.pRetry != nil {
+		a.pRetry.Tick(now, a.rob.Insert)
+	} else {
+		a.ppipe.advance(a.rob.Insert)
+	}
+	if a.sRetry != nil {
+		a.sRetry.Tick(now, a.rob.Insert)
+		if a.evict != nil && a.evict.EvictSerial(a.serialState(now)) {
+			a.rescueSerial(now)
+		}
+	} else {
+		a.spipe.advance(a.rob.Insert)
+	}
 	a.rob.Release(deliver)
 	a.pb, a.sb = a.parallelBW, a.serialBW
+	if a.pRetry != nil {
+		a.pb = a.pRetry.FreeSlots()
+	}
+	if a.sRetry != nil {
+		a.sb = a.sRetry.FreeSlots()
+	}
 	a.dispatch(now)
 	a.accepted = 0
+}
+
+// serialState summarizes the serial PHY's link-layer health for the
+// eviction hook.
+func (a *HeteroPHYAdapter) serialState(now int64) State {
+	return State{
+		Now:             now,
+		SerialSent:      a.sRetry.Stats.Transmits,
+		SerialRetries:   a.sRetry.Stats.Retransmits,
+		SerialPending:   a.sRetry.InFlight(),
+		SerialOldestAge: a.sRetry.OldestAge(now),
+	}
+}
+
+// rescueSerial evicts every undelivered flit off the serial retry pipe and
+// re-issues it through the parallel PHY. The flits keep their original
+// VSN/SN stamps, so the ROB still releases them in issue order; clearing
+// the serial pipe (FailoverDrain) guarantees no duplicate can follow. The
+// burst intentionally ignores the per-cycle parallel budget — a rare
+// rescue event models the adapter re-steering its buffered state, and the
+// retry window absorbs it by stalling subsequent accepts.
+func (a *HeteroPHYAdapter) rescueSerial(now int64) {
+	a.sRetry.FailoverDrain(func(f network.Flit) {
+		a.nRescued++
+		if a.pRetry != nil {
+			a.pRetry.Accept(now, f)
+			return
+		}
+		e := a.pjParallel * float64(a.bits)
+		f.EnergyPJ += e
+		f.EnergyIfacePJ += e
+		a.ppipe.push(f)
+	})
 }
 
 func (a *HeteroPHYAdapter) dispatch(now int64) {
@@ -162,7 +259,7 @@ func (a *HeteroPHYAdapter) dispatch(now int64) {
 	// dispatched early through the bypass", Sec. 4.2), never overtaking a
 	// same-VC flit.
 	if pb > 0 {
-		a.bypassScan(&pb)
+		a.bypassScan(now, &pb)
 	}
 	for pb > 0 || sb > 0 {
 		if len(a.txq) == 0 {
@@ -183,6 +280,12 @@ func (a *HeteroPHYAdapter) dispatch(now int64) {
 				SerialBudget:   sb,
 				Waited:         now - e.enq,
 			}
+			if a.sRetry != nil {
+				st.SerialSent = a.sRetry.Stats.Transmits
+				st.SerialRetries = a.sRetry.Stats.Retransmits
+				st.SerialPending = a.sRetry.InFlight()
+				st.SerialOldestAge = a.sRetry.OldestAge(now)
+			}
 			phy, ok = a.policy.Dispatch(st, e.f)
 			if ok && ((phy == PHYParallel && pb == 0) || (phy == PHYSerial && sb == 0)) {
 				ok = false
@@ -190,7 +293,7 @@ func (a *HeteroPHYAdapter) dispatch(now int64) {
 		}
 		if ok {
 			a.popFront()
-			a.issue(e.f, phy, &pb, &sb)
+			a.issue(now, e.f, phy, &pb, &sb)
 			continue
 		}
 		return
@@ -202,7 +305,7 @@ func (a *HeteroPHYAdapter) dispatch(now int64) {
 // only jump past flits of *other* virtual channels: per-VC issue order is
 // the delivery contract (see ROB), so overtaking a same-VC flit is never
 // allowed.
-func (a *HeteroPHYAdapter) bypassScan(pb *int) {
+func (a *HeteroPHYAdapter) bypassScan(now int64, pb *int) {
 	limit := min(len(a.txq), 1+a.LookAhead)
 	for i := 0; i < limit && *pb > 0; {
 		if a.txq[i].f.Pkt.Class != network.ClassLatencySensitive {
@@ -227,7 +330,7 @@ func (a *HeteroPHYAdapter) bypassScan(pb *int) {
 		a.txq = a.txq[:len(a.txq)-1]
 		limit--
 		sb := 0
-		a.issue(f, PHYParallel, pb, &sb)
+		a.issue(now, f, PHYParallel, pb, &sb)
 	}
 }
 
@@ -237,16 +340,22 @@ func (a *HeteroPHYAdapter) popFront() {
 	a.txq = a.txq[:len(a.txq)-1]
 }
 
-func (a *HeteroPHYAdapter) issue(f network.Flit, phy PHY, pb, sb *int) {
+func (a *HeteroPHYAdapter) issue(now int64, f network.Flit, phy PHY, pb, sb *int) {
 	f.VSN = a.txVSN[f.VC]
 	a.txVSN[f.VC]++
 	if f.Pkt.Class == network.ClassInOrder {
 		f.SN = a.txSN
 		a.txSN++
 	}
+	// Retry-enabled PHYs charge traversal energy per transmission inside
+	// the pipe (retransmissions burn energy again); plain PHYs at issue.
 	if phy == PHYParallel {
 		*pb--
 		a.nParallel++
+		if a.pRetry != nil {
+			a.pRetry.Accept(now, f)
+			return
+		}
 		e := a.pjParallel * float64(a.bits)
 		f.EnergyPJ += e
 		f.EnergyIfacePJ += e
@@ -254,6 +363,10 @@ func (a *HeteroPHYAdapter) issue(f network.Flit, phy PHY, pb, sb *int) {
 	} else {
 		*sb--
 		a.nSerial++
+		if a.sRetry != nil {
+			a.sRetry.Accept(now, f)
+			return
+		}
 		e := a.pjSerial * float64(a.bits)
 		f.EnergyPJ += e
 		f.EnergyIfacePJ += e
@@ -273,5 +386,28 @@ func (a *HeteroPHYAdapter) MaxQueue() int { return a.maxQ }
 // MaxROBOccupancy returns the RX reorder-buffer high-water mark, for
 // comparison against the Eq. 1 estimate.
 func (a *HeteroPHYAdapter) MaxROBOccupancy() int { return a.rob.MaxOccupancy() }
+
+// ParallelRetry returns the parallel PHY's retry pipe, or nil.
+func (a *HeteroPHYAdapter) ParallelRetry() *network.RetryPipe { return a.pRetry }
+
+// SerialRetry returns the serial PHY's retry pipe, or nil.
+func (a *HeteroPHYAdapter) SerialRetry() *network.RetryPipe { return a.sRetry }
+
+// Rescued returns how many flits the failover eviction path pulled off the
+// serial PHY and re-issued through the parallel PHY.
+func (a *HeteroPHYAdapter) Rescued() uint64 { return a.nRescued }
+
+// RetryStats returns the combined link-layer protocol counters of both
+// PHYs (zero when retry is disabled).
+func (a *HeteroPHYAdapter) RetryStats() network.RetryStats {
+	var s network.RetryStats
+	if a.pRetry != nil {
+		s.Add(a.pRetry.Stats)
+	}
+	if a.sRetry != nil {
+		s.Add(a.sRetry.Stats)
+	}
+	return s
+}
 
 var _ network.Adapter = (*HeteroPHYAdapter)(nil)

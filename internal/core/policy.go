@@ -48,6 +48,19 @@ type State struct {
 	ParallelBudget, SerialBudget int
 	// Waited is how many cycles the flit has sat in the TX queue.
 	Waited int64
+
+	// Serial-PHY link-layer telemetry, populated only when the adapter's
+	// serial PHY runs the retry protocol (all zero otherwise). Failure-
+	// aware policies (FailoverPolicy) judge PHY health from it.
+	//
+	// SerialSent counts wire transmissions including retransmissions;
+	// SerialRetries counts retransmissions alone. SerialPending is how
+	// many flits are accepted but not yet delivered across the serial
+	// wire; SerialOldestAge is how long the oldest of them has waited.
+	SerialSent      uint64
+	SerialRetries   uint64
+	SerialPending   int
+	SerialOldestAge int64
 }
 
 // Policy decides, flit by flit, which PHY a queued flit is issued to
@@ -161,7 +174,8 @@ func (a ApplicationAware) Dispatch(st State, f network.Flit) (PHY, bool) {
 }
 
 // PolicyByName returns the named policy with default parameters. Known
-// names: performance-first, energy-efficient, balanced, application-aware.
+// names: performance-first, energy-efficient, balanced, application-aware,
+// failover (a FailoverPolicy over Balanced).
 func PolicyByName(name string) (Policy, error) {
 	switch name {
 	case "performance-first":
@@ -172,6 +186,8 @@ func PolicyByName(name string) (Policy, error) {
 		return Balanced{}, nil
 	case "application-aware":
 		return ApplicationAware{}, nil
+	case "failover":
+		return NewFailoverPolicy(nil), nil
 	default:
 		return nil, fmt.Errorf("core: unknown scheduling policy %q", name)
 	}

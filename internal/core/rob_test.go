@@ -107,6 +107,109 @@ func TestROBMaxOccupancy(t *testing.T) {
 	}
 }
 
+// TestROBRetryInducedReordering covers the arrival patterns the link-layer
+// retry protocol creates: a go-back-N rewind delays a contiguous run of
+// early-VSN flits behind later ones, and a failover rescue replays stuck
+// serial flits (original VSNs) after parallel flits already arrived. The
+// ROB must hold the late arrivals and release everything in VSN order.
+func TestROBRetryInducedReordering(t *testing.T) {
+	pkt := mkPkt(1, 16, network.ClassBestEffort)
+	pin := mkPkt(2, 16, network.ClassInOrder)
+	for _, tc := range []struct {
+		name string
+		pkt  *network.Packet
+		// arrival order of VSNs (single VC); SN == VSN for in-order class
+		arrive []uint32
+	}{
+		{"retry-delays-window-head", pkt, []uint32{2, 3, 4, 5, 0, 1, 6, 7}},
+		{"rescue-replays-stuck-run", pkt, []uint32{4, 5, 6, 7, 0, 1, 2, 3}},
+		{"interleaved-rewinds", pkt, []uint32{1, 0, 3, 2, 5, 4, 7, 6}},
+		{"in-order-class-rescue", pin, []uint32{4, 5, 6, 7, 0, 1, 2, 3}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rob := NewROB(2)
+			var got []uint32
+			for _, vsn := range tc.arrive {
+				rob.Insert(network.Flit{Pkt: tc.pkt, Seq: int32(vsn), VC: 0, VSN: vsn, SN: vsn})
+				rob.Release(func(f network.Flit) { got = append(got, f.VSN) })
+			}
+			if len(got) != len(tc.arrive) {
+				t.Fatalf("released %d of %d flits", len(got), len(tc.arrive))
+			}
+			for i, v := range got {
+				if v != uint32(i) {
+					t.Fatalf("release order broken at %d: VSN %d", i, v)
+				}
+			}
+			if rob.Occupancy() != 0 {
+				t.Fatalf("occupancy %d after drain", rob.Occupancy())
+			}
+		})
+	}
+}
+
+// TestROBSequenceWraparound: the VSN and SN counters are uint32 and wrap;
+// release order must survive a stream straddling the wrap on both the
+// per-VC and the global in-order sequence.
+func TestROBSequenceWraparound(t *testing.T) {
+	const n = 8
+	start := ^uint32(0) - 2 // three before the wrap
+	rob := NewROB(2)
+	rob.nextVSN[0] = start
+	rob.nextSN = start
+	pkt := mkPkt(1, n, network.ClassInOrder)
+	// Shuffled arrival order spanning the wrap: VSNs start..start+7.
+	for _, off := range []uint32{3, 1, 0, 5, 2, 4, 7, 6} {
+		vsn := start + off
+		rob.Insert(network.Flit{Pkt: pkt, Seq: int32(off), VC: 0, VSN: vsn, SN: vsn})
+	}
+	var got []uint32
+	rob.Release(func(f network.Flit) { got = append(got, f.VSN) })
+	if len(got) != n {
+		t.Fatalf("released %d of %d flits across the VSN wrap", len(got), n)
+	}
+	for i, v := range got {
+		if v != start+uint32(i) {
+			t.Fatalf("wraparound broke release order at %d: VSN %d, want %d", i, v, start+uint32(i))
+		}
+	}
+	if rob.nextVSN[0] != start+n || rob.nextSN != start+n {
+		t.Fatalf("counters did not wrap cleanly: nextVSN %d, nextSN %d", rob.nextVSN[0], rob.nextSN)
+	}
+}
+
+// TestROBPropertyWrapStart: random permutations released from a random
+// start offset near the wrap — the wraparound analogue of
+// TestROBPropertyRandomArrivalOrder.
+func TestROBPropertyWrapStart(t *testing.T) {
+	f := func(seed int64, nFlits, offset uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nFlits%24) + 2
+		start := ^uint32(0) - uint32(offset%16)
+		pkt := mkPkt(1, n, network.ClassBestEffort)
+		perm := rng.Perm(n)
+		rob := NewROB(1)
+		rob.nextVSN[0] = start
+		var released []uint32
+		for _, i := range perm {
+			rob.Insert(network.Flit{Pkt: pkt, Seq: int32(i), VC: 0, VSN: start + uint32(i)})
+			rob.Release(func(f network.Flit) { released = append(released, f.VSN) })
+		}
+		if len(released) != n || rob.Occupancy() != 0 {
+			return false
+		}
+		for i, v := range released {
+			if v != start+uint32(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestROBPropertyRandomArrivalOrder: for any permutation of a two-VC flit
 // stream, release order per VC equals VSN order and every flit is released
 // exactly once.

@@ -45,6 +45,12 @@ type Options struct {
 	// Manifest, when non-nil, accumulates per-point results and derived
 	// tables for the machine-readable BENCH_<experiment>.json output.
 	Manifest *Manifest
+	// FaultBER, when nonzero, overrides the serial bit-error-rate sweep of
+	// the fault experiment with {0, FaultBER}.
+	FaultBER float64
+	// FaultSeed seeds the fault-injection RNG streams independently of the
+	// workload seed (0 derives one from the network seed).
+	FaultSeed int64
 }
 
 // Experiment is a runnable reproduction of one table or figure.
@@ -70,7 +76,8 @@ var Registry = []Experiment{
 	{"fig18", "Figure 18: average energy vs local traffic scale", runFig18},
 	{"topo", "Topology analysis: diameter / average distance / bisection (Sec. 2 motivation)", runTopo},
 	{"economy", "Cost model: chiplet reuse economics (Sec. 10 / Chiplet Actuary [29])", runEconomy},
-	{"fault", "Fault tolerance: latency vs failed adaptive channels (Sec. 9)", runFault},
+	{"linkfail", "Fault tolerance: latency vs failed adaptive channels (Sec. 9)", runLinkFail},
+	{"fault", "Link reliability: BER × policy with link-layer retry and failover (Sec. 2.1)", runFault},
 	{"compromised", "Extension: simulated compromised (BoW-like) interface vs hetero-IF (Sec. 2.2)", runCompromised},
 }
 

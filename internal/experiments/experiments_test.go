@@ -23,8 +23,8 @@ func TestRegistryIDsUniqueAndResolvable(t *testing.T) {
 			t.Errorf("experiment %q incomplete", e.ID)
 		}
 	}
-	if len(Registry) != 16 {
-		t.Errorf("registry has %d experiments, want 16 (tables, figures, and the topology/economy/fault/compromised reports)", len(Registry))
+	if len(Registry) != 17 {
+		t.Errorf("registry has %d experiments, want 17 (tables, figures, and the topology/economy/linkfail/fault/compromised reports)", len(Registry))
 	}
 	if _, err := ByID("fig99"); err == nil {
 		t.Error("unknown id accepted")

@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+
+	"heteroif/internal/network"
+	"heteroif/internal/sweep"
+	"heteroif/internal/topology"
+	"heteroif/internal/traffic"
+)
+
+// countTrue counts set entries (used to label fault-injection jobs).
+func countTrue(bs []bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// runLinkFail quantifies Sec. 9 "Fault tolerance": hetero-IF systems carry
+// extra channel diversity, so killing a growing fraction of their
+// *adaptive* channels (serial wraparounds / cube links) degrades latency
+// gracefully while every packet still delivers over the escape subnetwork.
+func runLinkFail(o Options, w io.Writer) error {
+	cfg := baseConfig(o)
+	rng := rand.New(rand.NewSource(cfg.Seed + 97))
+	fracs := []float64{0, 0.1, 0.25, 0.5, 1.0}
+	if o.Tiny {
+		fracs = []float64{0, 0.5}
+	}
+	cx := pick(o, 4, 4, 2)
+	systems := []topology.System{topology.HeteroPHYTorus, topology.HeteroChannel}
+
+	// The kill decisions come from one rng consumed sequentially across
+	// all fault levels (matching the historical draw order exactly), so
+	// they are pre-rolled here — one probe build per system enumerates the
+	// failable ports in deterministic order — and the simulations then run
+	// as independent orchestrator jobs.
+	type faultCase struct {
+		sys       topology.System
+		decisions []bool // one per failable port, in enumeration order
+	}
+	var cases []faultCase
+	for _, sys := range systems {
+		probe, err := Build(cfg, topology.Spec{System: sys, ChipletsX: cx, ChipletsY: cx, NodesX: 4, NodesY: 4})
+		if err != nil {
+			return err
+		}
+		failable := 0
+		for n := range probe.Topo.OutPorts {
+			for port := 1; port < len(probe.Topo.OutPorts[n]); port++ {
+				p := &probe.Topo.OutPorts[n][port]
+				if p.Wrap || p.CubeDim >= 0 {
+					failable++
+				}
+			}
+		}
+		for _, frac := range fracs {
+			dec := make([]bool, failable)
+			for i := range dec {
+				dec[i] = rng.Float64() < frac
+			}
+			cases = append(cases, faultCase{sys: sys, decisions: dec})
+		}
+	}
+
+	type faultRow struct {
+		failed, failable int
+		meanLat          float64
+		delivered        bool
+	}
+	jobs := make([]sweep.Job[faultRow], len(cases))
+	for i, fc := range cases {
+		fc := fc
+		jobs[i] = sweep.Job[faultRow]{
+			Key: fmt.Sprintf("linkfail/%v/%d-killed", fc.sys, countTrue(fc.decisions)),
+			Run: func() (faultRow, error) {
+				var row faultRow
+				in, err := Build(cfg, topology.Spec{System: fc.sys, ChipletsX: cx, ChipletsY: cx, NodesX: 4, NodesY: 4})
+				if err != nil {
+					return row, err
+				}
+				idx := 0
+				for n := range in.Topo.OutPorts {
+					for port := 1; port < len(in.Topo.OutPorts[n]); port++ {
+						p := &in.Topo.OutPorts[n][port]
+						if !p.Wrap && p.CubeDim < 0 {
+							continue
+						}
+						row.failable++
+						kill := fc.decisions[idx]
+						idx++
+						if !kill {
+							continue
+						}
+						if err := in.Topo.FailLink(network.NodeID(n), port); err == nil {
+							row.failed++
+						}
+					}
+				}
+				if err := in.RunSynthetic(traffic.Uniform{}, 0.1); err != nil {
+					return row, fmt.Errorf("%v with %d faults: %w", fc.sys, row.failed, err)
+				}
+				drained, err := in.Net.Drain()
+				if err != nil || !drained {
+					return row, fmt.Errorf("%v with %d faults did not drain: %v", fc.sys, row.failed, err)
+				}
+				row.meanLat = in.Stats.MeanLatency()
+				row.delivered = in.Net.PacketsDelivered() == in.Net.PacketsInjected()
+				return row, nil
+			},
+		}
+	}
+	outs := sweep.Run(jobs, sweep.Options{Jobs: o.Jobs, Timeout: o.JobTimeout, OnProgress: o.Progress})
+
+	var rows [][]string
+	i := 0
+	for _, sys := range systems {
+		fmt.Fprintf(w, "--- %s: uniform @ 0.1 with failed adaptive channels ---\n", sys)
+		for range fracs {
+			out := &outs[i]
+			i++
+			if out.Failed() {
+				o.Manifest.RecordFailure(out.Key, out.Err)
+				return out.Err
+			}
+			row := out.Value
+			fmt.Fprintf(w, "failed %3d/%3d adaptive links: lat=%7.1f cycles, all delivered=%v\n",
+				row.failed, row.failable, row.meanLat, row.delivered)
+			rows = append(rows, []string{
+				sys.String(), strconv.Itoa(row.failed), strconv.Itoa(row.failable),
+				strconv.FormatFloat(row.meanLat, 'f', 2, 64),
+				strconv.FormatBool(row.delivered),
+			})
+			if !row.delivered {
+				return fmt.Errorf("%v lost packets with %d faults", sys, row.failed)
+			}
+		}
+	}
+	fmt.Fprintln(w, "\nall traffic delivered at every fault level: the escape subnetwork")
+	fmt.Fprintln(w, "guarantees connectivity; the surviving adaptive channels soften the")
+	fmt.Fprintln(w, "latency loss (Sec. 9: diversity improves fault tolerance).")
+	return emitTable(o, "linkfail", []string{"system", "failed_links", "failable_links", "mean_latency", "all_delivered"}, rows)
+}
+
+// runCompromised evaluates the Sec. 2.2 "compromised interface" (BoW/UCIe-
+// style middle ground: better latency than SerDes, better reach than AIB,
+// outstanding at neither) as a simulated system — an extension beyond the
+// paper's analytical Fig. 8 treatment. The compromised uniform interface is
+// modeled with 3-flit/cycle links at 10-cycle delay and 0.7 pJ/bit
+// (BoW-like, Table 1) on the torus wiring.
+func runCompromised(o Options, w io.Writer) error {
+	cfg := baseConfig(o)
+	cc := pick(o, 4, 4, 2)
+	bow := cfg
+	bow.SerialBandwidth = 3
+	bow.SerialDelay = 10
+	bow.SerialPJPerBit = 0.7
+	vs := []variant{
+		{"uniform-parallel-mesh", cfg, topology.Spec{System: topology.UniformParallelMesh, ChipletsX: cc, ChipletsY: cc, NodesX: 4, NodesY: 4}},
+		{"uniform-serial-torus", cfg, topology.Spec{System: topology.UniformSerialTorus, ChipletsX: cc, ChipletsY: cc, NodesX: 4, NodesY: 4}},
+		{"compromised-bow-torus", bow, topology.Spec{System: topology.UniformSerialTorus, ChipletsX: cc, ChipletsY: cc, NodesX: 4, NodesY: 4}},
+		{"hetero-phy-full", cfg, topology.Spec{System: topology.HeteroPHYTorus, ChipletsX: cc, ChipletsY: cc, NodesX: 4, NodesY: 4}},
+	}
+	rates := []float64{0.05, 0.2, 0.4}
+	var jobs []pointJob
+	for _, rate := range rates {
+		for _, v := range vs {
+			rate, v := rate, v
+			jobs = append(jobs, point(fmt.Sprintf("compromised/uniform@%.2f/%s", rate, v.Name),
+				func() (Result, error) { return runPoint(v, traffic.Uniform{}, rate) }))
+		}
+	}
+	outs, err := runJobs(o, jobs)
+	if err != nil {
+		return err
+	}
+	var all []Result
+	i := 0
+	for _, rate := range rates {
+		fmt.Fprintf(w, "--- compromised-IF comparison, uniform @ %.2f ---\n", rate)
+		for range vs {
+			r := outs[i][0]
+			i++
+			fmt.Fprintln(w, r)
+			all = append(all, r)
+		}
+	}
+	fmt.Fprintln(w, "\nthe compromised interface improves hugely on the serial torus and is")
+	fmt.Fprintln(w, "honestly competitive at this scale: behind the mesh and hetero-IF at")
+	fmt.Fprintln(w, "low load (its 10-cycle hop tax), ahead once the mesh saturates. What")
+	fmt.Fprintln(w, "the flit-level model cannot show is the Sec. 2.2 structural point:")
+	fmt.Fprintln(w, "BoW's 32 Gbps per-lane ceiling caps how far the 3-flit/cycle links")
+	fmt.Fprintln(w, "scale, while the hetero-IF keeps the full serial data rate in reserve")
+	fmt.Fprintln(w, "and the parallel PHY's energy at short reach.")
+	return emitResults(o, "compromised", all)
+}

@@ -19,6 +19,11 @@ type Adapter interface {
 	// InFlight returns the number of flits resident anywhere inside the
 	// adapter (TX queue, PHY pipelines, RX reorder buffer).
 	InFlight() int
+	// Busy reports whether the adapter still needs per-cycle ticks. For an
+	// adapter without retry this is InFlight() > 0; with per-PHY retry
+	// enabled it also covers protocol state (unacked replay entries, acks
+	// in flight) that must keep ticking after the last flit is delivered.
+	Busy() bool
 }
 
 // Link is a unidirectional physical channel between two routers, modeled as
@@ -66,6 +71,12 @@ type Link struct {
 
 	// SentTotal counts flits ever accepted (utilization diagnostics).
 	SentTotal uint64
+
+	// retry, when non-nil, replaces the plain forward pipeline with the
+	// link-layer retry protocol (see RetryPipe). nil keeps every hot path
+	// byte-identical to the retry-free engine. Kept at the tail so the
+	// plain pipeline's hot fields retain their cache layout.
+	retry *RetryPipe
 }
 
 // NewLink constructs a link of the given kind with bandwidth/delay/energy
@@ -89,11 +100,20 @@ func NewLink(cfg *Config, id int, kind LinkKind, src NodeID, srcPort int, dst No
 }
 
 // FreeSlots returns how many more flits the link can accept this cycle.
+// The adapter/retry indirection is outlined so the plain-pipeline path
+// stays inlinable in the router hot loop.
 func (l *Link) FreeSlots() int {
+	if l.Adapter != nil || l.retry != nil {
+		return l.freeSlotsSlow()
+	}
+	return l.Bandwidth - l.accepted
+}
+
+func (l *Link) freeSlotsSlow() int {
 	if l.Adapter != nil {
 		return l.Adapter.FreeSlots()
 	}
-	return l.Bandwidth - l.accepted
+	return l.retry.FreeSlots()
 }
 
 // Accept pushes a flit into the link this cycle. The flit will be delivered
@@ -101,6 +121,13 @@ func (l *Link) FreeSlots() int {
 func (l *Link) Accept(now int64, f Flit) {
 	if l.Adapter != nil {
 		l.Adapter.Accept(now, f)
+		return
+	}
+	if l.retry != nil {
+		// The retry pipe charges traversal energy per transmission (so
+		// retransmissions burn energy again) instead of per acceptance.
+		l.retry.Accept(now, f)
+		l.SentTotal++
 		return
 	}
 	if l.PJPerBit != 0 {
@@ -124,6 +151,10 @@ func (l *Link) Accept(now int64, f Flit) {
 func (l *Link) Arrivals(now int64, deliver func(Flit)) {
 	if l.Adapter != nil {
 		l.Adapter.Tick(now, deliver)
+		return
+	}
+	if l.retry != nil {
+		l.retry.Tick(now, deliver)
 		return
 	}
 	arr := l.pipe[l.pipeHead]
@@ -159,26 +190,45 @@ func (l *Link) CreditArrivals(restore func(VCID)) {
 // InFlight returns the number of flits inside the link (including adapter
 // internals for hetero links).
 func (l *Link) InFlight() int {
-	if l.Adapter != nil {
-		return l.Adapter.InFlight()
+	if l.Adapter != nil || l.retry != nil {
+		return l.inFlightSlow()
 	}
 	return l.inFlight
 }
 
-// Busy reports whether the link holds any flits or credits in flight.
+func (l *Link) inFlightSlow() int {
+	if l.Adapter != nil {
+		return l.Adapter.InFlight()
+	}
+	return l.retry.InFlight()
+}
+
+// Busy reports whether the link holds any flits or credits in flight, or —
+// on retry-enabled paths — any retry-protocol state (unacked replay
+// entries, pending acks) that still needs per-cycle ticks.
 func (l *Link) Busy() bool {
-	return l.InFlight() > 0 || l.creditsInFlight > 0 || (l.Adapter == nil && l.accepted > 0)
+	return l.fwdBusy() || l.creditsInFlight > 0
 }
 
 // fwdBusy reports whether the forward direction still needs per-cycle
-// Arrivals ticks. For adapter links that is exactly "flits resident inside
-// the adapter": an empty adapter's Tick is observationally a no-op (empty
-// pipelines advance in place, the reorder buffer releases nothing, and the
-// per-cycle issue budgets were already left full by the tick that drained
-// it), so skipping it cannot change results.
+// Arrivals ticks. For adapter links the adapter answers (flits resident,
+// plus retry-protocol state when its PHYs run retry): an empty adapter's
+// Tick is observationally a no-op (empty pipelines advance in place, the
+// reorder buffer releases nothing, and the per-cycle issue budgets were
+// already left full by the tick that drained it), so skipping it cannot
+// change results. A retry link counts as busy while its replay buffer, wire
+// or ack channel is non-empty — a pending retransmission or timeout must
+// never be skipped by quiescence fast-forward.
 func (l *Link) fwdBusy() bool {
-	if l.Adapter != nil {
-		return l.Adapter.InFlight() > 0
+	if l.Adapter != nil || l.retry != nil {
+		return l.fwdBusySlow()
 	}
 	return l.inFlight > 0 || l.accepted > 0
+}
+
+func (l *Link) fwdBusySlow() bool {
+	if l.Adapter != nil {
+		return l.Adapter.Busy()
+	}
+	return l.retry.Busy()
 }

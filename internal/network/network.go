@@ -655,10 +655,22 @@ func (net *Network) CheckCredits() error {
 		dstIn := net.Nodes[l.Dst].In[l.DstPort]
 		for v := range src.Credits {
 			inPipe := 0
-			for _, stage := range l.pipe {
-				for _, f := range stage {
-					if int(f.VC) == v {
+			if l.retry != nil {
+				// A retry link's credit-holding flits are exactly the
+				// accepted-but-undelivered ones; a delivered-but-unacked
+				// replay copy must not be counted twice (its flit already
+				// sits in the downstream buffer).
+				l.retry.UndeliveredVCs(func(vc VCID) {
+					if int(vc) == v {
 						inPipe++
+					}
+				})
+			} else {
+				for _, stage := range l.pipe {
+					for _, f := range stage {
+						if int(f.VC) == v {
+							inPipe++
+						}
 					}
 				}
 			}

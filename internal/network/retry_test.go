@@ -1,0 +1,321 @@
+package network
+
+import "testing"
+
+// scriptHook is a deterministic TxFault for tests: it corrupts the first
+// corruptFirst transmissions it sees and reports the wire down during
+// [downFrom, downTo).
+type scriptHook struct {
+	corruptFirst int
+	downFrom     int64
+	downTo       int64
+	txs          int
+}
+
+func (h *scriptHook) Corrupt(int64) bool {
+	h.txs++
+	return h.txs <= h.corruptFirst
+}
+
+func (h *scriptHook) Down(now int64) bool {
+	return now >= h.downFrom && now < h.downTo
+}
+
+// drainPipe ticks the pipe from cycle start until it quiesces (or limit
+// cycles pass), recording every delivered flit's Seq and delivery cycle.
+func drainPipe(t *testing.T, rp *RetryPipe, start, limit int64) (seqs []int32, cycles []int64) {
+	t.Helper()
+	for now := start; now < start+limit; now++ {
+		rp.Tick(now, func(f Flit) {
+			seqs = append(seqs, f.Seq)
+			cycles = append(cycles, now)
+		})
+		if !rp.Busy() {
+			return seqs, cycles
+		}
+	}
+	t.Fatalf("retry pipe still busy after %d cycles", limit)
+	return nil, nil
+}
+
+// TestRetryErrorFreeMatchesPlainPipeline drives the same flit schedule
+// through a plain link and a retry-enabled link with no fault hook: the
+// retry machinery must add zero latency and identical energy on the
+// error-free path.
+func TestRetryErrorFreeMatchesPlainPipeline(t *testing.T) {
+	plain, _ := testLink(KindSerial)
+	reliable, _ := testLink(KindSerial)
+	reliable.EnableRetry(nil, 0, 0)
+
+	pkt := &Packet{ID: 1, Length: 40}
+	type arrival struct {
+		cycle  int64
+		seq    int32
+		energy float64
+	}
+	drive := func(l *Link) []arrival {
+		var got []arrival
+		seq := int32(0)
+		for now := int64(0); now < 200; now++ {
+			if now > 0 {
+				l.Arrivals(now, func(f Flit) {
+					got = append(got, arrival{now, f.Seq, f.EnergyPJ})
+				})
+			}
+			for seq < int32(pkt.Length) && l.FreeSlots() > 0 {
+				l.Accept(now, Flit{Pkt: pkt, Seq: seq})
+				seq++
+			}
+		}
+		return got
+	}
+	pa, ra := drive(plain), drive(reliable)
+	if len(pa) != pkt.Length || len(ra) != pkt.Length {
+		t.Fatalf("delivered %d plain / %d retry flits, want %d", len(pa), len(ra), pkt.Length)
+	}
+	for i := range pa {
+		if pa[i] != ra[i] {
+			t.Fatalf("arrival %d diverged: plain %+v, retry %+v", i, pa[i], ra[i])
+		}
+	}
+	if st := reliable.Retry().Stats; st.Retransmits != 0 || st.Dropped != 0 {
+		t.Fatalf("error-free run recorded retransmits/drops: %+v", st)
+	}
+	if reliable.Busy() {
+		t.Fatal("retry link still busy after full delivery and ack round trip")
+	}
+}
+
+// TestRetryDeliversThroughCorruption corrupts the first transmissions and
+// checks go-back-N recovery: every flit delivered exactly once, in order.
+func TestRetryDeliversThroughCorruption(t *testing.T) {
+	hook := &scriptHook{corruptFirst: 3}
+	rp := NewRetryPipe(2, 3, 0, 0, hook, 1.0, false)
+	const n = 10
+	pkt := &Packet{ID: 7, Length: n}
+	var seqs []int32
+	next := int32(0)
+	for now := int64(0); now < 400; now++ {
+		if now > 0 {
+			rp.Tick(now, func(f Flit) { seqs = append(seqs, f.Seq) })
+		}
+		for next < n && rp.FreeSlots() > 0 {
+			rp.Accept(now, Flit{Pkt: pkt, Seq: next})
+			next++
+		}
+		if next == n && !rp.Busy() {
+			break
+		}
+	}
+	if len(seqs) != n {
+		t.Fatalf("delivered %d flits, want %d", len(seqs), n)
+	}
+	for i, s := range seqs {
+		if s != int32(i) {
+			t.Fatalf("out-of-order delivery: position %d got seq %d", i, s)
+		}
+	}
+	st := rp.Stats
+	if st.Corrupted != 3 || st.Retransmits == 0 || st.Nacks == 0 {
+		t.Fatalf("unexpected stats after corruption recovery: %+v", st)
+	}
+	if st.Delivered != n || rp.InFlight() != 0 {
+		t.Fatalf("delivered=%d inflight=%d, want %d/0", st.Delivered, rp.InFlight(), n)
+	}
+}
+
+// TestRetryTimeoutRecoversDownWire kills the wire outright: no arrival, no
+// nack — only the TX timeout can recover, and must keep rewinding until the
+// outage ends.
+func TestRetryTimeoutRecoversDownWire(t *testing.T) {
+	hook := &scriptHook{downFrom: 0, downTo: 40}
+	rp := NewRetryPipe(1, 2, 0, 0, hook, 0, false)
+	rp.Accept(0, Flit{Pkt: &Packet{ID: 1, Length: 1}, Seq: 0})
+	seqs, cycles := drainPipe(t, rp, 1, 400)
+	if len(seqs) != 1 {
+		t.Fatalf("delivered %d flits, want 1", len(seqs))
+	}
+	if cycles[0] < hook.downTo {
+		t.Fatalf("delivered at cycle %d while the wire was still down (up at %d)", cycles[0], hook.downTo)
+	}
+	if rp.Stats.Timeouts == 0 {
+		t.Fatalf("down-wire recovery without a timeout rewind: %+v", rp.Stats)
+	}
+	if rp.Stats.Delivered != 1 || rp.Stats.Dropped != 0 {
+		t.Fatalf("unexpected stats: %+v", rp.Stats)
+	}
+}
+
+// TestRetryWindowBackpressure fills the replay window against a dead wire:
+// FreeSlots must reach zero (credit backpressure) and nothing may be lost.
+func TestRetryWindowBackpressure(t *testing.T) {
+	hook := &scriptHook{downFrom: 0, downTo: 1 << 40}
+	const window = 4
+	rp := NewRetryPipe(4, 2, window, 0, hook, 0, false)
+	pkt := &Packet{ID: 2, Length: window}
+	accepted := 0
+	for now := int64(0); now < 100; now++ {
+		if now > 0 {
+			rp.Tick(now, func(Flit) { t.Fatal("delivery across a dead wire") })
+		}
+		for rp.FreeSlots() > 0 {
+			rp.Accept(now, Flit{Pkt: pkt, Seq: int32(accepted)})
+			accepted++
+		}
+	}
+	if accepted != window {
+		t.Fatalf("accepted %d flits into a %d-flit window", accepted, window)
+	}
+	if rp.FreeSlots() != 0 {
+		t.Fatalf("FreeSlots %d with a full replay buffer", rp.FreeSlots())
+	}
+	if rp.InFlight() != window {
+		t.Fatalf("InFlight %d, want %d undelivered", rp.InFlight(), window)
+	}
+}
+
+// TestRetryEnergyPerRetransmission: a flit delivered on its k-th
+// transmission must carry k wire traversals' worth of energy.
+func TestRetryEnergyPerRetransmission(t *testing.T) {
+	const pj = 2.0
+	hook := &scriptHook{corruptFirst: 2}
+	rp := NewRetryPipe(1, 2, 0, 0, hook, pj, false)
+	rp.Accept(0, Flit{Pkt: &Packet{ID: 3, Length: 1}, Seq: 0})
+	var got Flit
+	n := 0
+	for now := int64(1); now < 400 && rp.Busy(); now++ {
+		rp.Tick(now, func(f Flit) { got = f; n++ })
+	}
+	if n != 1 {
+		t.Fatalf("delivered %d flits, want 1", n)
+	}
+	if want := 3 * pj; got.EnergyPJ != want || got.EnergyIfacePJ != want {
+		t.Fatalf("energy %v/%v after 3 transmissions, want %v", got.EnergyPJ, got.EnergyIfacePJ, want)
+	}
+	if rp.Stats.Transmits != 3 || rp.Stats.Retransmits != 2 {
+		t.Fatalf("unexpected transmit counts: %+v", rp.Stats)
+	}
+}
+
+// TestRetrySequenceWraparound starts the lsn space three short of the
+// 32-bit wrap and injects corruption so retransmissions straddle the wrap:
+// in-order exactly-once delivery must survive it.
+func TestRetrySequenceWraparound(t *testing.T) {
+	hook := &scriptHook{corruptFirst: 2}
+	rp := NewRetryPipe(2, 2, 0, 0, hook, 0, false)
+	start := ^uint32(0) - 2
+	rp.base, rp.next, rp.expected = start, start, start
+
+	const n = 8
+	pkt := &Packet{ID: 4, Length: n}
+	var seqs []int32
+	next := int32(0)
+	for now := int64(0); now < 400; now++ {
+		if now > 0 {
+			rp.Tick(now, func(f Flit) { seqs = append(seqs, f.Seq) })
+		}
+		for next < n && rp.FreeSlots() > 0 {
+			rp.Accept(now, Flit{Pkt: pkt, Seq: next})
+			next++
+		}
+		if next == n && !rp.Busy() {
+			break
+		}
+	}
+	if len(seqs) != n {
+		t.Fatalf("delivered %d flits across the lsn wrap, want %d", len(seqs), n)
+	}
+	for i, s := range seqs {
+		if s != int32(i) {
+			t.Fatalf("wraparound broke ordering: position %d got seq %d", i, s)
+		}
+	}
+	if rp.expected != start+n {
+		t.Fatalf("RX expected counter %d, want %d", rp.expected, start+n)
+	}
+}
+
+// TestRetryFailoverDrainExactlyOnce evicts flits stuck behind a dead wire
+// and checks the pipe resynchronizes: evicted flits come out in acceptance
+// order, no straggler ever delivers a second copy, and the pipe works again
+// once the wire heals.
+func TestRetryFailoverDrainExactlyOnce(t *testing.T) {
+	hook := &scriptHook{downFrom: 0, downTo: 1 << 40}
+	rp := NewRetryPipe(2, 2, 0, 0, hook, 0, false)
+	pkt := &Packet{ID: 5, Length: 5}
+	next := int32(0)
+	for now := int64(0); now < 6; now++ {
+		if now > 0 {
+			rp.Tick(now, func(Flit) { t.Fatal("delivery across a dead wire") })
+		}
+		for next < 5 && rp.FreeSlots() > 0 {
+			rp.Accept(now, Flit{Pkt: pkt, Seq: next})
+			next++
+		}
+	}
+	var rescued []int32
+	if got := rp.FailoverDrain(func(f Flit) { rescued = append(rescued, f.Seq) }); got != 5 {
+		t.Fatalf("FailoverDrain evicted %d flits, want 5", got)
+	}
+	for i, s := range rescued {
+		if s != int32(i) {
+			t.Fatalf("rescue order broken: position %d got seq %d", i, s)
+		}
+	}
+	if rp.Busy() || rp.InFlight() != 0 {
+		t.Fatalf("pipe not clean after drain: busy=%v inflight=%d", rp.Busy(), rp.InFlight())
+	}
+	if rp.Stats.Evicted != 5 {
+		t.Fatalf("Evicted %d, want 5", rp.Stats.Evicted)
+	}
+
+	// Wire heals; the resynchronized pipe must deliver new traffic normally.
+	hook.downTo = 0
+	rp.Accept(10, Flit{Pkt: pkt, Seq: 99})
+	seqs, _ := drainPipe(t, rp, 11, 100)
+	if len(seqs) != 1 || seqs[0] != 99 {
+		t.Fatalf("post-drain delivery %v, want [99]", seqs)
+	}
+}
+
+// TestRetryLinkStaysAwake is the wake-list regression for quiescence
+// fast-forward: a retry link holding a pending retransmission must stay on
+// the engine's wake list, so RunWith (fast-forward enabled) delivers the
+// packet at exactly the cycle a cycle-by-cycle run does, with credits
+// conserved — instead of stranding the flit and tripping the watchdog.
+func TestRetryLinkStaysAwake(t *testing.T) {
+	run := func(fastForward bool) (*Network, int64) {
+		net, l := twoNodeNet(t, KindSerial, nil)
+		l.EnableRetry(&scriptHook{corruptFirst: 3}, 0, 0)
+		arrived := int64(-1)
+		net.Sink = func(p *Packet) { arrived = p.ArrivedAt }
+		net.Offer(net.NewPacket(0, 1, 16, 0))
+		var err error
+		if fastForward {
+			err = net.RunWith(600, nil, nil)
+		} else {
+			err = net.Run(600, func(int64) {}) // non-nil drive, nil next: no skipping
+		}
+		if err != nil {
+			t.Fatalf("fastForward=%v: %v", fastForward, err)
+		}
+		if arrived < 0 {
+			t.Fatalf("fastForward=%v: packet never delivered", fastForward)
+		}
+		if err := net.CheckCredits(); err != nil {
+			t.Fatalf("fastForward=%v: %v", fastForward, err)
+		}
+		return net, arrived
+	}
+	refNet, refArr := run(false)
+	ffNet, ffArr := run(true)
+	if refArr != ffArr {
+		t.Fatalf("fast-forward changed delivery cycle: %d vs %d", ffArr, refArr)
+	}
+	if refNet.Now != ffNet.Now {
+		t.Fatalf("clocks diverged: %d vs %d", ffNet.Now, refNet.Now)
+	}
+	if st := ffNet.Links[0].Retry().Stats; st.Retransmits < 3 {
+		t.Fatalf("corruption did not force retransmissions: %+v", st)
+	}
+}

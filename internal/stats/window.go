@@ -1,0 +1,48 @@
+package stats
+
+// Windowed turns a pair of monotonically increasing counters into a
+// per-window event rate: feed it cumulative (num, den) observations and it
+// closes a window every Window cycles, exposing the rate of the deltas over
+// that window. The failover policy uses it to judge serial-PHY health from
+// cumulative retransmission telemetry; it is cheap enough to call on every
+// observation (one comparison when the window is still open).
+type Windowed struct {
+	// Window is the evaluation period in cycles.
+	Window int64
+
+	// Rate is num-delta / den-delta of the last closed window (0 when the
+	// window saw no denominator events).
+	Rate float64
+	// Den is the denominator delta of the last closed window — callers use
+	// it to skip judgments on windows with too small a sample.
+	Den uint64
+	// Closed counts closed windows.
+	Closed uint64
+
+	start            int64
+	lastNum, lastDen uint64
+}
+
+// Observe records cumulative counters at cycle now. It returns true when
+// this observation closed a window (Rate/Den were just updated).
+func (w *Windowed) Observe(now int64, num, den uint64) bool {
+	if now-w.start < w.Window {
+		return false
+	}
+	dn := num - w.lastNum
+	dd := den - w.lastDen
+	w.Rate = 0
+	if dd > 0 {
+		w.Rate = float64(dn) / float64(dd)
+	}
+	w.Den = dd
+	w.lastNum, w.lastDen = num, den
+	w.start = now
+	w.Closed++
+	return true
+}
+
+// Reset clears all window state, keeping the period.
+func (w *Windowed) Reset() {
+	*w = Windowed{Window: w.Window}
+}

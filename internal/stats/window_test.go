@@ -1,0 +1,38 @@
+package stats
+
+import "testing"
+
+func TestWindowedRates(t *testing.T) {
+	w := Windowed{Window: 10}
+	// First window: 4 retries out of 8 transmissions.
+	if w.Observe(0, 0, 0) {
+		t.Fatal("window closed immediately")
+	}
+	if w.Observe(5, 2, 4) {
+		t.Fatal("window closed early")
+	}
+	if !w.Observe(10, 4, 8) {
+		t.Fatal("window did not close at the boundary")
+	}
+	if w.Rate != 0.5 || w.Den != 8 || w.Closed != 1 {
+		t.Fatalf("first window: rate %v den %d closed %d", w.Rate, w.Den, w.Closed)
+	}
+	// Second window: deltas only — 0 new retries out of 4 transmissions.
+	if !w.Observe(20, 4, 12) {
+		t.Fatal("second window did not close")
+	}
+	if w.Rate != 0 || w.Den != 4 || w.Closed != 2 {
+		t.Fatalf("second window: rate %v den %d closed %d", w.Rate, w.Den, w.Closed)
+	}
+	// Empty window: Den 0, rate 0.
+	if !w.Observe(30, 4, 12) {
+		t.Fatal("empty window did not close")
+	}
+	if w.Rate != 0 || w.Den != 0 {
+		t.Fatalf("empty window: rate %v den %d", w.Rate, w.Den)
+	}
+	w.Reset()
+	if w.Observe(0, 0, 0) || w.Closed != 0 {
+		t.Fatal("Reset did not clear the monitor")
+	}
+}

@@ -90,6 +90,11 @@ func (b *builder) connectBoth(kind network.LinkKind, a, c network.NodeID, cubeDi
 func (b *builder) connectOne(kind network.LinkKind, from, to network.NodeID, cubeDim int8, wrap bool, pol core.Policy) {
 	l := b.net.Connect(kind, from, to)
 	if kind == network.KindHeteroPHY {
+		// Stateful policies (FailoverPolicy health monitors) are cloned so
+		// every adapter tracks its own interface.
+		if c, ok := pol.(core.PolicyCloner); ok {
+			pol = c.ClonePolicy()
+		}
 		ad := core.NewHeteroPHYAdapter(&b.net.Cfg, pol)
 		b.net.SetAdapter(l, ad)
 		b.t.Adapters = append(b.t.Adapters, ad)

@@ -10,6 +10,7 @@ import (
 	"math/bits"
 	"math/rand"
 
+	"heteroif/internal/fault"
 	"heteroif/internal/network"
 )
 
@@ -71,7 +72,10 @@ type Hotspot struct {
 // NewHotspot selects ⌈frac·(n−1)⌉ destinations per source with the given
 // seed.
 func NewHotspot(n int, frac float64, seed int64) *Hotspot {
-	rng := rand.New(rand.NewSource(seed))
+	// Root keeps the historical stream: hotspot pair selection is part of
+	// the published results. Fault draws use fault.Split domains, so the
+	// two can never alias under one seed.
+	rng := fault.Root(seed)
 	k := int(frac*float64(n-1) + 0.999)
 	if k < 1 {
 		k = 1
@@ -213,7 +217,9 @@ type Generator struct {
 // NewGenerator builds a generator with its own deterministic random source.
 func NewGenerator(net *network.Network, p Pattern, rate float64, seed int64) *Generator {
 	g := &Generator{Net: net, Pattern: p, Rate: rate, Length: net.Cfg.PacketLength}
-	g.rng = rand.New(rand.NewSource(seed))
+	// fault.Root preserves the pre-fault injection stream bit-for-bit;
+	// fault-injection randomness lives in disjoint fault.Split streams.
+	g.rng = fault.Root(seed)
 	g.prob = rate / float64(g.Length)
 	return g
 }
