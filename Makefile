@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-kernel bench-smoke experiments experiments-full examples vet fmt-check smoke fault ci clean
+.PHONY: all build test race bench benchkernel bench-kernel bench-smoke experiments experiments-full examples vet fmt-check smoke fault ci clean
 
 all: build test
 
@@ -46,15 +46,24 @@ bench: bench-kernel
 	$(GO) test -bench=. -benchmem ./...
 
 # Kernel baseline: run the netbench suite (idle/low-load/saturated meshes
-# at 16/64/256 nodes) and record BENCH_kernel.json at the repo root.
+# at 16/64/256 nodes, saturated also under the reference tick and with
+# parallel stepping) and record BENCH_kernel.json at the repo root.
 bench-kernel:
 	$(GO) run ./cmd/benchkernel -o BENCH_kernel.json
 
+benchkernel: bench-kernel
+
 # Fast CI gate over the same kernels: 100 iterations per case plus the
-# idle zero-allocation assertion. Catches gross regressions in seconds.
+# idle zero-allocation assertion, then a saturated-case manifest gated
+# against the committed baseline. The 50% tolerance absorbs cross-machine
+# variance (CI runners vs whatever produced BENCH_kernel.json); hot-path
+# regressions that undo the work-list/memoization design are far larger.
 bench-smoke:
 	$(GO) test -run '^$$' -bench Step -benchtime=100x -benchmem ./internal/network
 	$(GO) test -run TestStepIdleZeroAllocs ./internal/network
+	mkdir -p results-ci
+	$(GO) run ./cmd/benchkernel -cases saturated -test.benchtime=0.3s -o results-ci/BENCH_kernel_smoke.json
+	$(GO) run ./cmd/checkmanifest -baseline BENCH_kernel.json -tolerance 0.5 results-ci/BENCH_kernel_smoke.json
 
 # CI-scale reproduction of every table and figure, with CSV output.
 experiments:

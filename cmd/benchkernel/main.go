@@ -1,17 +1,20 @@
 // Command benchkernel records the cycle-engine kernel baseline: it runs
 // the netbench suite (idle / low-load / saturated meshes at 16, 64 and
-// 256 nodes — the same cases as BenchmarkStep in internal/network) and
-// writes a JSON manifest so the engine's performance trajectory can be
-// tracked across commits.
+// 256 nodes, saturated additionally under the naive reference tick and
+// with 2-worker parallel stepping — the same cases as BenchmarkStep in
+// internal/network) and writes a JSON manifest so the engine's performance
+// trajectory can be tracked across commits.
 //
 // Usage:
 //
 //	benchkernel -o BENCH_kernel.json            # full run (~1s per case)
 //	benchkernel -test.benchtime=100x -o /dev/stdout  # CI smoke scale
+//
+// The committed BENCH_kernel.json is the baseline `checkmanifest
+// -baseline` gates fresh runs against.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,45 +26,27 @@ import (
 	"heteroif/internal/network/netbench"
 )
 
-// caseResult is one benchmark case in the manifest. cycles_per_sec is the
-// headline number (simulated cycles per wall-clock second, from the
-// benchmark's cycles/sec metric); allocs_per_op and bytes_per_op pin the
-// steady-state allocation behaviour (idle cases must report 0).
-type caseResult struct {
-	Name         string  `json:"name"`
-	Nodes        int     `json:"nodes"`
-	CyclesPerOp  int64   `json:"cycles_per_op"`
-	Iterations   int     `json:"iterations"`
-	NsPerOp      float64 `json:"ns_per_op"`
-	CyclesPerSec float64 `json:"cycles_per_sec"`
-	AllocsPerOp  int64   `json:"allocs_per_op"`
-	BytesPerOp   int64   `json:"bytes_per_op"`
-}
-
-type manifest struct {
-	Schema     string       `json:"schema"`
-	Git        string       `json:"git,omitempty"`
-	GoVersion  string       `json:"go_version"`
-	GOMAXPROCS int          `json:"gomaxprocs"`
-	Cases      []caseResult `json:"cases"`
-}
-
 func main() {
 	out := flag.String("o", "BENCH_kernel.json", "output path for the JSON manifest")
+	cases := flag.String("cases", "", "only run cases whose name contains this substring (e.g. saturated)")
 	testing.Init() // exposes -test.benchtime etc. for CI smoke runs
 	flag.Parse()
 
-	m := manifest{
-		Schema:     "heteroif-bench-kernel/v1",
+	m := netbench.Manifest{
+		Schema:     netbench.ManifestSchema,
 		Git:        gitDescribe(),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 	for _, c := range netbench.Cases() {
+		if *cases != "" && !strings.Contains(c.Name, *cases) {
+			continue
+		}
 		r := testing.Benchmark(c.Bench)
-		cr := caseResult{
+		cr := netbench.CaseResult{
 			Name:        c.Name,
 			Nodes:       c.Nodes,
+			Workers:     c.Workers,
 			CyclesPerOp: c.CyclesPerOp,
 			Iterations:  r.N,
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
@@ -72,16 +57,11 @@ func main() {
 			cr.CyclesPerSec = v
 		}
 		m.Cases = append(m.Cases, cr)
-		fmt.Printf("%-22s %12.1f ns/op %14.0f cycles/sec %6d allocs/op\n",
+		fmt.Printf("%-26s %12.1f ns/op %14.0f cycles/sec %6d allocs/op\n",
 			cr.Name, cr.NsPerOp, cr.CyclesPerSec, cr.AllocsPerOp)
 	}
 
-	enc, err := json.MarshalIndent(m, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchkernel:", err)
-		os.Exit(1)
-	}
-	if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+	if err := m.WriteManifest(*out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchkernel:", err)
 		os.Exit(1)
 	}

@@ -1,25 +1,40 @@
-// Command checkmanifest validates hetsim JSON result manifests
-// (BENCH_<experiment>.json). It exits non-zero when a manifest is missing,
-// malformed (unknown fields, wrong schema version, inconsistent failure
-// counts), empty, or contains a failed operating point — the gate the CI
-// smoke job runs after `hetsim -exp fig11 -jobs 4 -json results-ci`.
+// Command checkmanifest validates hetsim JSON result manifests. It
+// understands two kinds, distinguished by their schema field:
+//
+//   - experiment manifests (BENCH_<experiment>.json from `hetsim -json`):
+//     checked for schema version, consistent failure counts and failed
+//     operating points;
+//   - kernel benchmark manifests (BENCH_kernel.json from benchkernel):
+//     checked for schema and positive measurements, and — when -baseline
+//     points at a committed manifest — gated against cycles/sec
+//     regressions beyond -tolerance and against new steady-state
+//     allocations.
+//
+// It exits non-zero on any violation — the gate CI runs after
+// `hetsim -exp fig11 -jobs 4 -json results-ci` and after the bench-smoke
+// benchkernel run.
 //
 // Usage:
 //
 //	checkmanifest results-ci/BENCH_fig11.json [more.json...]
+//	checkmanifest -baseline BENCH_kernel.json -tolerance 0.25 fresh-kernel.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"heteroif/internal/experiments"
+	"heteroif/internal/network/netbench"
 )
 
 func main() {
+	baseline := flag.String("baseline", "", "committed kernel manifest to gate cycles/sec regressions against")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional cycles/sec drop vs -baseline")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: checkmanifest <manifest.json>...")
+		fmt.Fprintln(os.Stderr, "usage: checkmanifest [-baseline BENCH_kernel.json [-tolerance 0.25]] <manifest.json>...")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -28,27 +43,78 @@ func main() {
 		os.Exit(2)
 	}
 
+	var base *netbench.Manifest
+	if *baseline != "" {
+		m, err := netbench.ReadManifest(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "checkmanifest: baseline %s: %v\n", *baseline, err)
+			os.Exit(1)
+		}
+		base = m
+	}
+
 	failed := false
 	for _, path := range flag.Args() {
-		m, err := experiments.ReadManifest(path)
-		if err != nil {
+		if err := checkOne(path, base, *tolerance); err != nil {
 			fmt.Fprintf(os.Stderr, "checkmanifest: %s: %v\n", path, err)
 			failed = true
-			continue
 		}
-		if err := m.Check(); err != nil {
-			fmt.Fprintf(os.Stderr, "checkmanifest: %s: %v\n", path, err)
-			failed = true
-			continue
-		}
-		fmt.Printf("%s: ok (%s, %d points, %d tables, %d ms", path, m.Experiment,
-			len(m.Points), len(m.Tables), m.WallClockMS)
-		if m.Git != "" {
-			fmt.Printf(", git %s", m.Git)
-		}
-		fmt.Println(")")
 	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// checkOne validates one manifest, dispatching on its schema field.
+func checkOne(path string, base *netbench.Manifest, tolerance float64) error {
+	schema, err := sniffSchema(path)
+	if err != nil {
+		return err
+	}
+	if schema == netbench.ManifestSchema {
+		m, err := netbench.ReadManifest(path)
+		if err != nil {
+			return err
+		}
+		if base != nil {
+			if err := m.CompareBaseline(base, tolerance); err != nil {
+				return err
+			}
+			fmt.Printf("%s: ok (kernel, %d cases, within %.0f%% of baseline)\n",
+				path, len(m.Cases), tolerance*100)
+			return nil
+		}
+		fmt.Printf("%s: ok (kernel, %d cases)\n", path, len(m.Cases))
+		return nil
+	}
+	m, err := experiments.ReadManifest(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Check(); err != nil {
+		return err
+	}
+	fmt.Printf("%s: ok (%s, %d points, %d tables, %d ms", path, m.Experiment,
+		len(m.Points), len(m.Tables), m.WallClockMS)
+	if m.Git != "" {
+		fmt.Printf(", git %s", m.Git)
+	}
+	fmt.Println(")")
+	return nil
+}
+
+// sniffSchema reads only the schema field so dispatch never depends on the
+// rest of the document parsing.
+func sniffSchema(path string) (string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	var probe struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		return "", fmt.Errorf("parse manifest: %w", err)
+	}
+	return probe.Schema, nil
 }

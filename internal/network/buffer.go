@@ -2,10 +2,23 @@ package network
 
 // FlitQueue is a bounded FIFO of flits backed by a ring buffer. It is the
 // storage behind every virtual-channel input buffer and adapter queue.
+//
+// wpos/pend implement direct staging for Delay-1 plain links (see
+// Link.direct): the producing link writes arriving flits into the ring at
+// wpos during its source router's tick and the next cycle's link phase
+// publishes them in bulk. The ring splits into two disjoint regions —
+// [head, head+n) live, [head+n, head+n+pend) staged — with head and n
+// owned by the consuming router and wpos/pend owned by the single
+// producing link. head+n is invariant under Pop and Drop, so the producer
+// cursor tracks the live end by pure increments without ever reading
+// consumer state (which would race under parallel stepping).
 type FlitQueue struct {
 	buf  []Flit
 	head int
 	n    int
+
+	wpos int
+	pend int
 }
 
 // NewFlitQueue returns a queue with the given capacity in flits.
@@ -45,9 +58,37 @@ func (q *FlitQueue) Push(f Flit) bool {
 	return true
 }
 
+// PushRun appends a run of flits in order, reporting false (appending
+// nothing) when the whole run does not fit — the bulk counterpart of Push,
+// with the same "full means protocol bug" contract.
+func (q *FlitQueue) PushRun(fs []Flit) bool {
+	if q.n+len(fs) > len(q.buf) {
+		return false
+	}
+	i := q.head + q.n
+	if i >= len(q.buf) {
+		i -= len(q.buf)
+	}
+	n := copy(q.buf[i:], fs)
+	if n < len(fs) {
+		copy(q.buf, fs[n:])
+	}
+	q.n += len(fs)
+	return true
+}
+
 // Front returns the oldest flit without removing it. It must not be called
 // on an empty queue.
 func (q *FlitQueue) Front() Flit { return q.buf[q.head] }
+
+// FrontPkt returns the packet of the oldest flit without copying the whole
+// flit (the switch stage re-checks packet identity once per granted flit).
+// It must not be called on an empty queue.
+func (q *FlitQueue) FrontPkt() *Packet { return q.buf[q.head].Pkt }
+
+// FrontSeq returns the sequence number of the oldest flit without copying
+// the whole flit. It must not be called on an empty queue.
+func (q *FlitQueue) FrontSeq() int32 { return q.buf[q.head].Seq }
 
 // At returns the i-th oldest flit (0 = front). It must be in range.
 func (q *FlitQueue) At(i int) Flit {
@@ -56,6 +97,34 @@ func (q *FlitQueue) At(i int) Flit {
 		j -= len(q.buf)
 	}
 	return q.buf[j]
+}
+
+// PeekRun returns views of the n oldest flits without removing them, as up
+// to two contiguous slices (the run may wrap the ring). n must not exceed
+// Len. The views are invalidated by the next mutation; pair with Drop.
+func (q *FlitQueue) PeekRun(n int) (a, b []Flit) {
+	end := q.head + n
+	if end <= len(q.buf) {
+		return q.buf[q.head:end], nil
+	}
+	return q.buf[q.head:], q.buf[:end-len(q.buf)]
+}
+
+// Drop removes the n oldest flits (zeroing their slots so packet pointers
+// are released). n must not exceed Len.
+func (q *FlitQueue) Drop(n int) {
+	a, b := q.PeekRun(n)
+	for i := range a {
+		a[i] = Flit{}
+	}
+	for i := range b {
+		b[i] = Flit{}
+	}
+	q.head += n
+	if q.head >= len(q.buf) {
+		q.head -= len(q.buf)
+	}
+	q.n -= n
 }
 
 // Pop removes and returns the oldest flit. It must not be called on an
@@ -71,10 +140,65 @@ func (q *FlitQueue) Pop() Flit {
 	return f
 }
 
-// Reset discards all buffered flits.
+// Reset discards all buffered flits, staged ones included.
 func (q *FlitQueue) Reset() {
 	for i := range q.buf {
 		q.buf[i] = Flit{}
 	}
 	q.head, q.n = 0, 0
+	q.wpos, q.pend = 0, 0
+}
+
+// syncStage aligns the producer cursor with the live end. Finalize calls
+// it when arming a link for direct staging; it must never run with flits
+// staged (they would be orphaned).
+func (q *FlitQueue) syncStage() {
+	if q.pend != 0 {
+		panic("network: syncStage with staged flits")
+	}
+	i := q.head + q.n
+	if i >= len(q.buf) {
+		i -= len(q.buf)
+	}
+	q.wpos = i
+}
+
+// stagePut writes a flit at the producer cursor without publishing it.
+// Credit flow control guarantees the slot is free — the staging twin of
+// Push's "full means protocol bug" contract, unchecked here because the
+// producer may not read the consumer-owned occupancy.
+func (q *FlitQueue) stagePut(f Flit) {
+	q.buf[q.wpos] = f
+	q.wpos++
+	if q.wpos == len(q.buf) {
+		q.wpos = 0
+	}
+	q.pend++
+}
+
+// stageSpan reserves n staged slots at the producer cursor and returns
+// them as up to two contiguous views (the reservation may wrap the ring),
+// for bulk-copy staging — the run counterpart of stagePut, with the same
+// unchecked credit-backed capacity contract.
+func (q *FlitQueue) stageSpan(n int) (a, b []Flit) {
+	end := q.wpos + n
+	if end <= len(q.buf) {
+		a = q.buf[q.wpos:end]
+		if end == len(q.buf) {
+			end = 0
+		}
+	} else {
+		end -= len(q.buf)
+		a, b = q.buf[q.wpos:], q.buf[:end]
+	}
+	q.wpos = end
+	q.pend += n
+	return
+}
+
+// publish makes k staged flits visible to the consumer. Runs in the link
+// phase, after the barrier that quiesces the producer.
+func (q *FlitQueue) publish(k int) {
+	q.n += k
+	q.pend -= k
 }

@@ -120,6 +120,16 @@ type Config struct {
 	// conservation, buffer bounds). Tests enable it; benchmarks do not.
 	CheckInvariants bool
 
+	// RouteLUTNodes caps the network size (in nodes) up to which a
+	// RoutePure routing algorithm gets a precomputed per-(router, dst,
+	// restricted) route LUT on the first Step. The LUT holds
+	// O(nodes² × avg candidates) entries, so it is gated by size: 0 means
+	// the default cap (512 nodes, ≈ tens of MB worst case), negative
+	// disables the LUT entirely. Networks above the cap — e.g. the
+	// paper-scale 3136-node systems — still get per-VC candidate
+	// memoization across VA retries.
+	RouteLUTNodes int
+
 	// Workers enables deterministic parallel stepping across this many
 	// goroutines (≤1 = sequential). Results are bit-identical to
 	// sequential runs; useful for the paper-scale (3136-node) systems.

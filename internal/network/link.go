@@ -55,11 +55,22 @@ type Link struct {
 	pipeHead int
 	inFlight int
 
-	creditPipe      [][]VCID
+	creditPipe      [][]creditRun
 	creditHead      int
 	creditsInFlight int
 
 	accepted int // flits accepted this cycle (plain pipeline rate limit)
+
+	// direct, when set, bypasses the forward pipe entirely: Accept and
+	// AcceptRun write fixed-up flits straight into the destination input
+	// buffers at the producer cursor (FlitQueue staging) and the next
+	// cycle's link phase publishes them in bulk (Network.commitDirect) —
+	// same one-cycle latency as a Delay-1 pipe, with no intermediate flit
+	// copy and O(runs) arrival work. Finalize arms it for plain Delay-1
+	// links; EnableRetry disarms it. staged records the per-VC run lengths
+	// awaiting publication, in acceptance order; dstIn is the input port
+	// the flits land on.
+	direct bool
 
 	// fwdQueued/crQueued record membership in the engine's forward and
 	// credit wake lists (see the package comment): set when a flit/credit
@@ -77,6 +88,9 @@ type Link struct {
 	// byte-identical to the retry-free engine. Kept at the tail so the
 	// plain pipeline's hot fields retain their cache layout.
 	retry *RetryPipe
+
+	dstIn  *InPort     // destination input port, for direct staging
+	staged []creditRun // per-VC staged run lengths, acceptance order
 }
 
 // NewLink constructs a link of the given kind with bandwidth/delay/energy
@@ -95,8 +109,17 @@ func NewLink(cfg *Config, id int, kind LinkKind, src NodeID, srcPort int, dst No
 		bits:      cfg.FlitBits,
 	}
 	l.pipe = make([][]Flit, l.Delay)
-	l.creditPipe = make([][]VCID, l.Delay)
+	l.creditPipe = make([][]creditRun, l.Delay)
 	return l
+}
+
+// creditRun is a run-length-encoded credit pipeline entry: n credits for
+// the same downstream VC, entered consecutively. Credits enter in
+// switch-grant order, so a bulk run transfer is one entry and the arrival
+// side restores whole runs without re-scanning.
+type creditRun struct {
+	vc VCID
+	n  int32
 }
 
 // FreeSlots returns how many more flits the link can accept this cycle.
@@ -130,6 +153,10 @@ func (l *Link) Accept(now int64, f Flit) {
 		l.SentTotal++
 		return
 	}
+	if l.direct {
+		l.acceptDirect(f)
+		return
+	}
 	if l.PJPerBit != 0 {
 		e := l.PJPerBit * float64(l.bits)
 		f.EnergyPJ += e
@@ -139,11 +166,146 @@ func (l *Link) Accept(now int64, f Flit) {
 			f.EnergyIfacePJ += e
 		}
 	}
-	slot := (l.pipeHead + l.Delay - 1) % l.Delay
+	slot := l.pipeHead + l.Delay - 1
+	if slot >= l.Delay {
+		slot -= l.Delay
+	}
 	l.pipe[slot] = append(l.pipe[slot], f)
 	l.inFlight++
 	l.accepted++
 	l.SentTotal++
+}
+
+// AcceptRun pushes a contiguous run of same-packet flits (as the up-to-two
+// ring views a, b) into a plain pipeline, rewriting each flit's VC to
+// outVC and charging the per-flit router traversal energy routerPJ plus
+// the link's own traversal energy — the bulk equivalent of per-flit
+// Router.forward + Accept, with the exact same per-field addition order so
+// energy statistics stay bit-identical. Callers must have checked
+// FreeSlots and must not use it on adapter or retry links.
+func (l *Link) AcceptRun(a, b []Flit, outVC VCID, routerPJ float64) {
+	if l.direct {
+		l.acceptRunDirect(a, b, outVC, routerPJ)
+		return
+	}
+	slot := l.pipeHead + l.Delay - 1
+	if slot >= l.Delay {
+		slot -= l.Delay
+	}
+	// Bulk-copy the run into the stage, then fix up VC and energy in place:
+	// one memmove plus field writes instead of a per-flit struct copy. The
+	// per-flit field updates run in the same order as the per-flit path, so
+	// energy sums stay bit-identical.
+	stage := append(l.pipe[slot], a...)
+	stage = append(stage, b...)
+	base := len(stage) - len(a) - len(b)
+	e := l.PJPerBit * float64(l.bits)
+	onChip := l.Kind == KindOnChip
+	for i := base; i < len(stage); i++ {
+		f := &stage[i]
+		f.VC = outVC
+		f.EnergyPJ += routerPJ
+		f.EnergyOnChipPJ += routerPJ
+		if e != 0 {
+			f.EnergyPJ += e
+			if onChip {
+				f.EnergyOnChipPJ += e
+			} else {
+				f.EnergyIfacePJ += e
+			}
+		}
+	}
+	n := len(a) + len(b)
+	l.pipe[slot] = stage
+	l.inFlight += n
+	l.accepted += n
+	l.SentTotal += uint64(n)
+}
+
+// acceptDirect is Accept's direct-staging path: the flit (already carrying
+// its router traversal energy) gets the link energy charged in the same
+// order as the pipe path, then lands in the destination ring unpublished.
+func (l *Link) acceptDirect(f Flit) {
+	if l.PJPerBit != 0 {
+		e := l.PJPerBit * float64(l.bits)
+		f.EnergyPJ += e
+		if l.Kind == KindOnChip {
+			f.EnergyOnChipPJ += e
+		} else {
+			f.EnergyIfacePJ += e
+		}
+	}
+	l.dstIn.VCs[f.VC].Buf.stagePut(f)
+	l.stageRun(f.VC, 1)
+	l.inFlight++
+	l.accepted++
+	l.SentTotal++
+}
+
+// acceptRunDirect is AcceptRun's direct-staging path: bulk-copy the run
+// into reserved ring slots, then fix up VC and energy in place — the one
+// and only copy each flit makes between the two routers' buffers. The
+// per-flit field updates run in the same order as the pipe path, so
+// energy statistics stay bit-identical.
+func (l *Link) acceptRunDirect(a, b []Flit, outVC VCID, routerPJ float64) {
+	n := len(a) + len(b)
+	sa, sb := l.dstIn.VCs[outVC].Buf.stageSpan(n)
+	m := copy(sa, a)
+	if m < len(a) {
+		copy(sb, a[m:])
+		copy(sb[len(a)-m:], b)
+	} else if m2 := copy(sa[m:], b); m2 < len(b) {
+		copy(sb, b[m2:])
+	}
+	e := l.PJPerBit * float64(l.bits)
+	onChip := l.Kind == KindOnChip
+	for _, span := range [2][]Flit{sa, sb} {
+		for i := range span {
+			f := &span[i]
+			f.VC = outVC
+			f.EnergyPJ += routerPJ
+			f.EnergyOnChipPJ += routerPJ
+			if e != 0 {
+				f.EnergyPJ += e
+				if onChip {
+					f.EnergyOnChipPJ += e
+				} else {
+					f.EnergyIfacePJ += e
+				}
+			}
+		}
+	}
+	l.stageRun(outVC, n)
+	l.inFlight += n
+	l.accepted += n
+	l.SentTotal += uint64(n)
+}
+
+// stageRun records n staged flits for vc, merging with the previous run
+// when the VC matches — the same grouping deliverRun would have found.
+func (l *Link) stageRun(vc VCID, n int) {
+	if k := len(l.staged) - 1; k >= 0 && l.staged[k].vc == vc {
+		l.staged[k].n += int32(n)
+		return
+	}
+	l.staged = append(l.staged, creditRun{vc, int32(n)})
+}
+
+// ReturnCredits sends n credits for the given downstream VC in one call
+// (the bulk counterpart of ReturnCredit).
+func (l *Link) ReturnCredits(vc VCID, n int) {
+	slot := l.creditHead + l.Delay - 1
+	if slot >= l.Delay {
+		slot -= l.Delay
+	}
+	stage := l.creditPipe[slot]
+	if k := len(stage) - 1; k >= 0 && stage[k].vc == vc {
+		stage[k].n += int32(n)
+	} else {
+		stage = append(stage, creditRun{vc, int32(n)})
+	}
+	l.creditPipe[slot] = stage
+	l.creditsInFlight += n
 }
 
 // Arrivals advances the forward pipeline one cycle and returns the flits
@@ -159,7 +321,10 @@ func (l *Link) Arrivals(now int64, deliver func(Flit)) {
 	}
 	arr := l.pipe[l.pipeHead]
 	l.pipe[l.pipeHead] = arr[:0]
-	l.pipeHead = (l.pipeHead + 1) % l.Delay
+	l.pipeHead++
+	if l.pipeHead == l.Delay {
+		l.pipeHead = 0
+	}
 	for _, f := range arr {
 		l.inFlight--
 		deliver(f)
@@ -167,12 +332,27 @@ func (l *Link) Arrivals(now int64, deliver func(Flit)) {
 	l.accepted = 0
 }
 
+// takeArrivals advances a plain forward pipeline one cycle and returns the
+// arriving flits as one slice, for bulk delivery into the destination input
+// buffer. The slice aliases the recycled stage and is valid until the link
+// next accepts flits; callers must not use it on adapter or retry links
+// (their per-flit protocol work needs Arrivals).
+func (l *Link) takeArrivals() []Flit {
+	arr := l.pipe[l.pipeHead]
+	l.pipe[l.pipeHead] = arr[:0]
+	l.pipeHead++
+	if l.pipeHead == l.Delay {
+		l.pipeHead = 0
+	}
+	l.inFlight -= len(arr)
+	l.accepted = 0
+	return arr
+}
+
 // ReturnCredit sends one credit for the given downstream VC back to the
 // source router; it arrives after the link delay.
 func (l *Link) ReturnCredit(vc VCID) {
-	slot := (l.creditHead + l.Delay - 1) % l.Delay
-	l.creditPipe[slot] = append(l.creditPipe[slot], vc)
-	l.creditsInFlight++
+	l.ReturnCredits(vc, 1)
 }
 
 // CreditArrivals advances the credit pipeline one cycle and invokes restore
@@ -180,10 +360,32 @@ func (l *Link) ReturnCredit(vc VCID) {
 func (l *Link) CreditArrivals(restore func(VCID)) {
 	arr := l.creditPipe[l.creditHead]
 	l.creditPipe[l.creditHead] = arr[:0]
-	l.creditHead = (l.creditHead + 1) % l.Delay
-	for _, vc := range arr {
-		l.creditsInFlight--
-		restore(vc)
+	l.creditHead++
+	if l.creditHead == l.Delay {
+		l.creditHead = 0
+	}
+	for _, cr := range arr {
+		l.creditsInFlight -= int(cr.n)
+		for i := int32(0); i < cr.n; i++ {
+			restore(cr.vc)
+		}
+	}
+}
+
+// creditArrivalsRun is CreditArrivals with each run-length-encoded entry
+// handed to restore(vc, count) as one call. A bulk run transfer's
+// ReturnCredits appears here as a single restore — the common case at
+// saturation.
+func (l *Link) creditArrivalsRun(restore func(VCID, int)) {
+	arr := l.creditPipe[l.creditHead]
+	l.creditPipe[l.creditHead] = arr[:0]
+	l.creditHead++
+	if l.creditHead == l.Delay {
+		l.creditHead = 0
+	}
+	for _, cr := range arr {
+		l.creditsInFlight -= int(cr.n)
+		restore(cr.vc, int(cr.n))
 	}
 }
 

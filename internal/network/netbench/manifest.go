@@ -1,0 +1,134 @@
+package netbench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// ManifestSchema identifies kernel benchmark manifests; checkmanifest
+// sniffs it to tell them apart from experiment result manifests.
+const ManifestSchema = "heteroif-bench-kernel/v1"
+
+// CaseResult is one benchmark case in the kernel manifest. CyclesPerSec is
+// the headline number (simulated cycles per wall-clock second, from the
+// benchmark's cycles/sec metric); AllocsPerOp and BytesPerOp pin the
+// steady-state allocation behaviour (engine cases must report 0).
+type CaseResult struct {
+	Name         string  `json:"name"`
+	Nodes        int     `json:"nodes"`
+	Workers      int     `json:"workers,omitempty"`
+	CyclesPerOp  int64   `json:"cycles_per_op"`
+	Iterations   int     `json:"iterations"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+}
+
+// Manifest is the perf-trajectory record cmd/benchkernel writes
+// (BENCH_kernel.json at the repo root is the committed baseline).
+type Manifest struct {
+	Schema     string       `json:"schema"`
+	Git        string       `json:"git,omitempty"`
+	GoVersion  string       `json:"go_version"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Cases      []CaseResult `json:"cases"`
+}
+
+// ReadManifest loads and validates a kernel manifest. Unknown fields are
+// rejected so schema drift fails loudly.
+func ReadManifest(path string) (*Manifest, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var m Manifest
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("parse kernel manifest: %w", err)
+	}
+	if err := m.Check(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// WriteManifest writes the manifest as indented JSON.
+func (m *Manifest) WriteManifest(path string) error {
+	enc, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(enc, '\n'), 0o644)
+}
+
+// Check validates internal consistency: schema, non-empty unique cases,
+// positive throughput numbers.
+func (m *Manifest) Check() error {
+	if m.Schema != ManifestSchema {
+		return fmt.Errorf("kernel manifest schema %q, want %q", m.Schema, ManifestSchema)
+	}
+	if len(m.Cases) == 0 {
+		return fmt.Errorf("kernel manifest has no cases")
+	}
+	seen := make(map[string]bool, len(m.Cases))
+	for i := range m.Cases {
+		c := &m.Cases[i]
+		switch {
+		case c.Name == "":
+			return fmt.Errorf("case %d has no name", i)
+		case seen[c.Name]:
+			return fmt.Errorf("duplicate case %q", c.Name)
+		case c.Iterations <= 0 || c.NsPerOp <= 0 || c.CyclesPerSec <= 0:
+			return fmt.Errorf("case %q has non-positive measurements (iters=%d ns/op=%g cycles/sec=%g)",
+				c.Name, c.Iterations, c.NsPerOp, c.CyclesPerSec)
+		}
+		seen[c.Name] = true
+	}
+	return nil
+}
+
+// CompareBaseline checks m (a fresh run) against a baseline manifest:
+// every case present in both must reach at least (1-tolerance) of the
+// baseline's cycles/sec, and must not allocate where the baseline did not.
+// Cases only one side knows are ignored, so the gate survives suite
+// extensions. It returns a single error listing every violation.
+func (m *Manifest) CompareBaseline(base *Manifest, tolerance float64) error {
+	baseline := make(map[string]*CaseResult, len(base.Cases))
+	for i := range base.Cases {
+		baseline[base.Cases[i].Name] = &base.Cases[i]
+	}
+	var violations []string
+	matched := 0
+	for i := range m.Cases {
+		c := &m.Cases[i]
+		b, ok := baseline[c.Name]
+		if !ok {
+			continue
+		}
+		matched++
+		if floor := b.CyclesPerSec * (1 - tolerance); c.CyclesPerSec < floor {
+			violations = append(violations, fmt.Sprintf(
+				"%s: %.0f cycles/sec, below %.0f (baseline %.0f, tolerance %.0f%%)",
+				c.Name, c.CyclesPerSec, floor, b.CyclesPerSec, tolerance*100))
+		}
+		if b.AllocsPerOp == 0 && c.AllocsPerOp > 0 {
+			violations = append(violations, fmt.Sprintf(
+				"%s: %d allocs/op, baseline has none", c.Name, c.AllocsPerOp))
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("no case names in common with baseline")
+	}
+	if len(violations) > 0 {
+		msg := violations[0]
+		for _, v := range violations[1:] {
+			msg += "; " + v
+		}
+		return fmt.Errorf("perf regression vs baseline: %s", msg)
+	}
+	return nil
+}

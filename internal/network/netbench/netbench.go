@@ -11,6 +11,7 @@ package netbench
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"heteroif/internal/network"
@@ -33,6 +34,12 @@ type xyRouting struct {
 }
 
 func (x *xyRouting) Name() string { return "bench-xy" }
+
+// Stability implements network.Stable: the precomputed port table makes
+// Route a pure function of (router, destination), so the engine may build
+// a route LUT — the benchmark then measures the memoized hot path, which
+// is what every deterministic-routing experiment runs.
+func (x *xyRouting) Stability() network.RouteStability { return network.RoutePure }
 
 func (x *xyRouting) Route(_ *network.Network, r *network.Router, _ int, pkt *network.Packet, buf []network.Candidate) []network.Candidate {
 	id := int(r.ID)
@@ -147,9 +154,12 @@ func (d *Saturator) Drive(now int64) {
 
 // Case is one kernel benchmark: a named operating point plus how many
 // simulated cycles one benchmark op advances (for cycles/sec accounting).
+// Workers > 0 marks a parallel-stepping case (the bench raises GOMAXPROCS
+// itself).
 type Case struct {
 	Name        string
 	Nodes       int
+	Workers     int
 	CyclesPerOp int64
 	Bench       func(b *testing.B)
 }
@@ -159,8 +169,21 @@ type Case struct {
 // in the low-load half of a latency sweep.
 const lowLoadChunk = 1024
 
+// saturate drives net to steady-state saturation and returns the driver.
+func saturate(net *network.Network) *Saturator {
+	sat := &Saturator{Net: net, Length: net.Cfg.PacketLength}
+	for net.Now < 2000 {
+		sat.Drive(net.Now)
+		net.Step()
+	}
+	return sat
+}
+
 // Cases returns the kernel benchmark suite: idle, low-load and saturated
-// meshes at 16, 64 and 256 nodes.
+// meshes at 16, 64 and 256 nodes, the saturated cases additionally with
+// the retained naive reference tick (so the manifest records what the
+// work-list/memoization hot path buys) and, at 64/256 nodes, with
+// parallel stepping across 2 workers.
 func Cases() []Case {
 	var cs []Case
 	for _, side := range []int{4, 8, 16} {
@@ -198,12 +221,24 @@ func Cases() []Case {
 				Name: fmt.Sprintf("saturated/%dnodes", n), Nodes: n, CyclesPerOp: 1,
 				Bench: func(b *testing.B) {
 					net := BuildMesh(side)
-					sat := &Saturator{Net: net, Length: net.Cfg.PacketLength}
-					// Reach steady-state saturation before measuring.
-					for net.Now < 2000 {
+					sat := saturate(net)
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
 						sat.Drive(net.Now)
 						net.Step()
 					}
+					reportCyclesPerSec(b, 1)
+				},
+			},
+			Case{
+				Name: fmt.Sprintf("satref/%dnodes", n), Nodes: n, CyclesPerOp: 1,
+				Bench: func(b *testing.B) {
+					// The retained naive reference tick: full port×VC
+					// scans, Route re-evaluated every VA retry, no LUT.
+					net := BuildMesh(side)
+					net.SetReferenceTick(true)
+					sat := saturate(net)
 					b.ReportAllocs()
 					b.ResetTimer()
 					for i := 0; i < b.N; i++ {
@@ -214,6 +249,29 @@ func Cases() []Case {
 				},
 			},
 		)
+		if n >= 64 {
+			const workers = 2
+			cs = append(cs, Case{
+				Name: fmt.Sprintf("satpar/%dnodes/%dworkers", n, workers), Nodes: n, Workers: workers, CyclesPerOp: 1,
+				Bench: func(b *testing.B) {
+					prev := runtime.GOMAXPROCS(0)
+					if prev < workers {
+						runtime.GOMAXPROCS(workers)
+						defer runtime.GOMAXPROCS(prev)
+					}
+					net := BuildMesh(side)
+					net.SetWorkers(workers)
+					sat := saturate(net)
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						sat.Drive(net.Now)
+						net.Step()
+					}
+					reportCyclesPerSec(b, 1)
+				},
+			})
+		}
 	}
 	return cs
 }

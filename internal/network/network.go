@@ -69,10 +69,22 @@ type Network struct {
 	DeadlockAt int64
 
 	deliverFns []func(Flit)
-	creditFns  []func(VCID)
+	creditFns  []func(VCID, int)
 
 	par        *parallelState
 	seqScratch workerScratch
+
+	// Route-acceleration state, derived on the first Step (after topology
+	// construction and any fault injection) from the routing algorithm's
+	// declared RouteStability: stability gates the per-VC candidate
+	// memoization in Router.allocate, lut (non-nil only for RoutePure
+	// algorithms on networks within Cfg.RouteLUTNodes) replaces Route
+	// calls entirely. refTick selects the retained naive reference tick
+	// for the bit-identity oracle.
+	stability RouteStability
+	lut       *routeLUT
+	prepared  bool
+	refTick   bool
 
 	// LivelockHopBound restricts a packet to the escape subnetwork once it
 	// has taken this many hops (0 = disabled). Minimal-path adaptive
@@ -141,7 +153,7 @@ func (net *Network) SetAdapter(l *Link, a Adapter) { l.Adapter = a }
 // state.
 func (net *Network) Finalize() {
 	net.deliverFns = make([]func(Flit), len(net.Links))
-	net.creditFns = make([]func(VCID), len(net.Links))
+	net.creditFns = make([]func(VCID, int), len(net.Links))
 	for i, l := range net.Links {
 		dst := net.Nodes[l.Dst]
 		port := l.DstPort
@@ -151,8 +163,38 @@ func (net *Network) Finalize() {
 			net.nodeWake[wi] |= bit
 			net.moved++
 		}
-		out := net.Nodes[l.Src].Out[l.SrcPort]
-		net.creditFns[i] = func(vc VCID) { out.Credits[vc]++ }
+		src := net.Nodes[l.Src]
+		out := src.Out[l.SrcPort]
+		// A credit arrival can turn a failing VC allocation at the source
+		// router into a succeeding one, so it returns allocations parked on
+		// this output to the pending set, and puts a switch-stage slot
+		// starved of credits on exactly this VC back on the ready list.
+		// Credits arrive run-compressed (creditArrivalsRun).
+		net.creditFns[i] = func(vc VCID, n int) {
+			out.Credits[vc] += n
+			src.unparkPort(out)
+			if ws := out.waitSlot[vc]; ws >= 0 {
+				out.waitSlot[vc] = -1
+				src.saReady[ws>>6] |= 1 << (uint(ws) & 63)
+			}
+		}
+	}
+	// Arm direct staging on plain Delay-1 links: their flits can be
+	// written into the destination rings at acceptance and published a
+	// cycle later, skipping the pipe-stage copy (see Link.direct).
+	// EnableRetry disarms a link again; adapter and multi-cycle links keep
+	// the pipeline.
+	for _, l := range net.Links {
+		if len(l.staged) != 0 {
+			continue // re-finalize with flits staged: keep the armed state
+		}
+		l.direct = l.Adapter == nil && l.retry == nil && l.Delay == 1 && l.inFlight == 0
+		if l.direct {
+			l.dstIn = net.Nodes[l.Dst].In[l.DstPort]
+			for v := range l.dstIn.VCs {
+				l.dstIn.VCs[v].Buf.syncStage()
+			}
+		}
 	}
 	net.rebuildWake()
 }
@@ -176,6 +218,7 @@ func (net *Network) rebuildWake() {
 		net.srcWake[i] = 0
 	}
 	for i, r := range net.Nodes {
+		r.rebuildWork()
 		if r.buffered > 0 {
 			net.wakeNode(NodeID(i))
 		}
@@ -259,6 +302,9 @@ func (net *Network) Offer(p *Packet) {
 // size; a skipped component is always one whose tick would have been a
 // no-op, keeping results bit-identical to exhaustive scanning.
 func (net *Network) Step() {
+	if !net.prepared {
+		net.prepare()
+	}
 	if net.par != nil {
 		net.stepParallel()
 		return
@@ -274,7 +320,7 @@ func (net *Network) Step() {
 		keep := net.fwdWake[:0]
 		for _, li := range net.fwdWake {
 			l := net.Links[li]
-			l.Arrivals(net.Now, net.deliverFns[li])
+			net.linkArrivals(l, net.deliverFns[li], &net.moved)
 			if l.fwdBusy() {
 				keep = append(keep, li)
 			} else {
@@ -287,7 +333,7 @@ func (net *Network) Step() {
 		keep := net.crWake[:0]
 		for _, li := range net.crWake {
 			l := net.Links[li]
-			l.CreditArrivals(net.creditFns[li])
+			l.creditArrivalsRun(net.creditFns[li])
 			if l.creditsInFlight > 0 {
 				keep = append(keep, li)
 			} else {
@@ -300,7 +346,7 @@ func (net *Network) Step() {
 	// Phase 2: router pipelines, ascending node order (Sink determinism
 	// depends on it — see the package comment).
 	sc := &net.seqScratch
-	ctx := tickContext{net: net, scratch: sc, tracer: net.Tracer}
+	ctx := tickContext{net: net, scratch: sc, tracer: net.Tracer, reference: net.refTick}
 	net.tickNodes(&ctx, 0, len(net.nodeWake))
 
 	// Phase 3: injection, ascending node order.
@@ -309,6 +355,61 @@ func (net *Network) Step() {
 	net.mergeScratch(sc, net.Tracer != nil)
 	net.watchdog()
 	net.Now++
+}
+
+// linkArrivals advances one link's forward pipeline. Plain pipelines hand
+// their whole per-cycle batch to Router.deliverRun in one call (the flits
+// of a link all target the same input port, so the per-flit closure only
+// re-derived the same router and wake bit once per flit); adapter and
+// retry links keep the per-flit path — their Tick interleaves protocol
+// work with delivery. deliverFn and moved are the caller's per-flit
+// closure and movement accumulator (net.deliverFns/net.moved
+// sequentially, the shard-bound twins in parallel mode).
+func (net *Network) linkArrivals(l *Link, deliverFn func(Flit), moved *uint64) {
+	if l.Adapter != nil || l.retry != nil {
+		l.Arrivals(net.Now, deliverFn)
+		return
+	}
+	if l.direct {
+		net.commitDirect(l, moved)
+		return
+	}
+	arr := l.takeArrivals()
+	if len(arr) == 0 {
+		return
+	}
+	net.Nodes[l.Dst].deliverRun(l.DstPort, arr)
+	net.nodeWake[uint(l.Dst)>>6] |= 1 << (uint(l.Dst) & 63)
+	*moved += uint64(len(arr))
+}
+
+// commitDirect publishes a direct link's staged flits: they already sit in
+// the destination rings (written at acceptance, see Link.direct), so
+// arrival is O(runs) — bump each ring's published length, mark newly
+// pending slots and account the batch, with no flit copies. Runs on the
+// destination router's shard in the link phase, after the barrier that
+// quiesced the staging producer.
+func (net *Network) commitDirect(l *Link, moved *uint64) {
+	l.accepted = 0
+	if len(l.staged) == 0 {
+		return
+	}
+	r := net.Nodes[l.Dst]
+	in := l.dstIn
+	total := 0
+	for _, run := range l.staged {
+		vc := &in.VCs[run.vc]
+		vc.Buf.publish(int(run.n))
+		if !vc.Active {
+			r.markPend(l.DstPort*r.slotVCs + int(run.vc))
+		}
+		total += int(run.n)
+	}
+	l.staged = l.staged[:0]
+	l.inFlight -= total
+	r.buffered += total
+	net.nodeWake[uint(l.Dst)>>6] |= 1 << (uint(l.Dst) & 63)
+	*moved += uint64(total)
 }
 
 // tickNodes runs Phase 2 for the routers woken in nodeWake words
@@ -471,6 +572,11 @@ func (net *Network) injectNode(n int, sc *workerScratch) {
 			vc := &in.VCs[s.curVC]
 			if budget > 0 && s.curSeq < int32(s.cur.Length) && vc.Buf.Free() > 0 {
 				net.wakeNode(r.ID)
+				if !vc.Active {
+					// The VC will hold a head flit awaiting RC+VA next
+					// cycle (if it already does, re-marking is a no-op).
+					r.markPend(r.InjectPort*r.slotVCs + int(s.curVC))
+				}
 			}
 			for budget > 0 && s.curSeq < int32(s.cur.Length) && vc.Buf.Free() > 0 {
 				vc.Buf.Push(Flit{Pkt: s.cur, Seq: s.curSeq, VC: s.curVC})
@@ -666,6 +772,14 @@ func (net *Network) CheckCredits() error {
 					}
 				})
 			} else {
+				// Direct links hold in-flight flits staged in the
+				// destination ring (excluded from Buf.Len) and recorded
+				// in the staged run list; pipe links hold them in stages.
+				for _, run := range l.staged {
+					if int(run.vc) == v {
+						inPipe += int(run.n)
+					}
+				}
 				for _, stage := range l.pipe {
 					for _, f := range stage {
 						if int(f.VC) == v {
@@ -677,8 +791,8 @@ func (net *Network) CheckCredits() error {
 			returning := 0
 			for _, stage := range l.creditPipe {
 				for _, c := range stage {
-					if int(c) == v {
-						returning++
+					if int(c.vc) == v {
+						returning += int(c.n)
 					}
 				}
 			}

@@ -139,10 +139,11 @@ func (net *Network) stepParallel() {
 	// both.
 	p.run(func(w int) {
 		if lw := p.fwdWake[w]; len(lw) > 0 {
+			sc := &p.scratch[w]
 			keep := lw[:0]
 			for _, li := range lw {
 				l := net.Links[li]
-				l.Arrivals(net.Now, p.deliverFns[li])
+				net.linkArrivals(l, p.deliverFns[li], &sc.moved)
 				if l.fwdBusy() {
 					keep = append(keep, li)
 				} else {
@@ -155,7 +156,7 @@ func (net *Network) stepParallel() {
 			keep := lw[:0]
 			for _, li := range lw {
 				l := net.Links[li]
-				l.CreditArrivals(net.creditFns[li])
+				l.creditArrivalsRun(net.creditFns[li])
 				if l.creditsInFlight > 0 {
 					keep = append(keep, li)
 				} else {
@@ -168,10 +169,16 @@ func (net *Network) stepParallel() {
 
 	// Phase 2: router pipelines fused with injection — both only touch the
 	// shard's own routers and wake words, and injected flits are not
-	// observable elsewhere until the next cycle's link phase.
+	// observable elsewhere until the next cycle's link phase. The router
+	// work bitmaps (allocPend/saActive/saReady) and the parking state
+	// (vaParked, OutPort.parked/waitSlot) follow the same ownership
+	// discipline: deliveries mark pending slots on the destination shard in
+	// phase 1, credit completions unpark at the source router in phase 1,
+	// and ticks/injection touch only the shard's own routers here — no word
+	// is written from two shards within a phase.
 	p.run(func(w int) {
 		sc := &p.scratch[w]
-		ctx := tickContext{net: net, scratch: sc}
+		ctx := tickContext{net: net, scratch: sc, reference: net.refTick}
 		wlo, whi := p.bounds[w]>>6, (p.bounds[w+1]+63)>>6
 		net.tickNodes(&ctx, wlo, whi)
 		net.injectNodes(sc, wlo, whi)

@@ -1,0 +1,102 @@
+package network
+
+// routeLUT is the precomputed candidate table for RoutePure routing
+// algorithms: one entry per (router, destination, restricted) triple,
+// stored as a flat candidate pool with prefix offsets. Purity makes the
+// entry independent of the input port and of all dynamic state, so a
+// lookup replaces the Routing.Route interface call entirely on the VC-
+// allocation hot path.
+type routeLUT struct {
+	n     int
+	offs  []uint32
+	cands []Candidate
+}
+
+// lutEntry computes the offs index of (r, dst, restricted).
+func (l *routeLUT) lutEntry(r, dst NodeID, restricted bool) int {
+	e := (int(r)*l.n + int(dst)) * 2
+	if restricted {
+		e++
+	}
+	return e
+}
+
+// lookup returns the candidate set for a packet to dst observed at router
+// r. Entries with r == dst are empty (ejection short-circuits before RC).
+func (l *routeLUT) lookup(r, dst NodeID, restricted bool) []Candidate {
+	e := l.lutEntry(r, dst, restricted)
+	return l.cands[l.offs[e]:l.offs[e+1]]
+}
+
+// buildRouteLUT evaluates the routing function once for every (router,
+// destination, restricted) triple. Route is invoked with a scratch packet
+// carrying only the fields a RoutePure algorithm may read (Dst,
+// Restricted) and the injection port as inPort; purity guarantees the
+// result matches what any in-flight packet would see.
+func buildRouteLUT(net *Network) *routeLUT {
+	n := len(net.Nodes)
+	lut := &routeLUT{n: n}
+	lut.offs = make([]uint32, 1, 2*n*n+1)
+	var scratch []Candidate
+	var pkt Packet
+	for _, r := range net.Nodes {
+		for dst := 0; dst < n; dst++ {
+			for restricted := 0; restricted < 2; restricted++ {
+				if NodeID(dst) != r.ID {
+					pkt = Packet{Dst: NodeID(dst), Restricted: restricted == 1, Target: -1}
+					scratch = net.Routing.Route(net, r, r.InjectPort, &pkt, scratch[:0])
+					lut.cands = append(lut.cands, scratch...)
+				}
+				lut.offs = append(lut.offs, uint32(len(lut.cands)))
+			}
+		}
+	}
+	return lut
+}
+
+// prepare derives the route-acceleration state on the first Step, once the
+// topology (including injected faults) and the routing algorithm are
+// final. The reference tick ignores it: the oracle measures the naive
+// engine, not a differently-accelerated one.
+func (net *Network) prepare() {
+	net.prepared = true
+	if net.refTick {
+		return
+	}
+	if s, ok := net.Routing.(Stable); ok {
+		net.stability = s.Stability()
+	}
+	if net.stability == RoutePure {
+		limit := net.Cfg.RouteLUTNodes
+		if limit == 0 {
+			limit = 512
+		}
+		if limit > 0 && len(net.Nodes) <= limit {
+			net.lut = buildRouteLUT(net)
+		}
+	}
+}
+
+// SetReferenceTick switches the engine onto the retained naive router tick
+// (full port×VC scans, Route re-evaluated every retry, no LUT). It is the
+// oracle side of the saturated-state bit-identity tests and must be called
+// before the first Step.
+func (net *Network) SetReferenceTick(on bool) {
+	if net.prepared {
+		panic("network: SetReferenceTick must be called before the first Step")
+	}
+	net.refTick = on
+}
+
+// HasRouteLUT reports whether prepare built a route LUT (tests).
+func (net *Network) HasRouteLUT() bool { return net.lut != nil }
+
+// LUTCandidates exposes a route-LUT entry for the stable-routing property
+// tests; it returns nil when no LUT was built. The first Step (or a manual
+// Prepare via a zero-cycle Run) must have happened.
+func (net *Network) LUTCandidates(r, dst NodeID, restricted bool) []Candidate {
+	if net.lut == nil {
+		return nil
+	}
+	return net.lut.lookup(r, dst, restricted)
+}

@@ -1,0 +1,168 @@
+package network
+
+import "testing"
+
+// This file holds the saturated-state bit-identity oracle: the optimized
+// router tick (work-list bitmaps, RC memoization, route LUT, VA/SA
+// parking, direct-staged links) against the retained naive reference tick
+// (full port×VC scans, Route re-evaluated every retry, no LUT). The two
+// engines must agree on every observable — per-packet arrival cycles and
+// energies, hop counts, grant statistics, VA-failure totals and credit
+// conservation — under sustained saturation, the regime where every fast
+// path actually fires.
+
+const (
+	xyPX = iota
+	xyNX
+	xyPY
+	xyNY
+)
+
+// xyTestRouting is dimension-ordered mesh routing (X then Y), the
+// in-package twin of netbench's benchmark routing. It is pure: candidates
+// depend only on the router and the packet's destination, so the engine
+// may build a route LUT for it.
+type xyTestRouting struct {
+	side   int
+	vcMask uint16
+	ports  [][4]int
+}
+
+func (x *xyTestRouting) Name() string { return "test-xy" }
+
+func (x *xyTestRouting) Stability() RouteStability { return RoutePure }
+
+func (x *xyTestRouting) Route(_ *Network, r *Router, _ int, pkt *Packet, buf []Candidate) []Candidate {
+	cur, dst := int(r.ID), int(pkt.Dst)
+	cx, cy := cur%x.side, cur/x.side
+	dx, dy := dst%x.side, dst/x.side
+	var dir int
+	switch {
+	case dx > cx:
+		dir = xyPX
+	case dx < cx:
+		dir = xyNX
+	case dy > cy:
+		dir = xyPY
+	default:
+		dir = xyNY
+	}
+	return append(buf, Candidate{Port: x.ports[cur][dir], VCMask: x.vcMask, Escape: true})
+}
+
+// buildXYMesh constructs a side×side on-chip mesh with XY routing, the
+// same shape the kernel benchmarks use.
+func buildXYMesh(tb testing.TB, side int, check bool) *Network {
+	cfg := DefaultConfig()
+	cfg.CheckInvariants = check
+	net, err := New(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	n := side * side
+	net.AddNodes(n)
+	rt := &xyTestRouting{side: side, vcMask: uint16(1<<cfg.VCs) - 1, ports: make([][4]int, n)}
+	connect := func(a, b, dir int) {
+		l := net.Connect(KindOnChip, NodeID(a), NodeID(b))
+		rt.ports[a][dir] = l.SrcPort
+	}
+	for y := 0; y < side; y++ {
+		for x := 0; x < side; x++ {
+			id := y*side + x
+			if x+1 < side {
+				connect(id, id+1, xyPX)
+				connect(id+1, id, xyNX)
+			}
+			if y+1 < side {
+				connect(id, id+side, xyPY)
+				connect(id+side, id, xyNY)
+			}
+		}
+	}
+	net.Routing = rt
+	net.Finalize()
+	return net
+}
+
+// saturateXYMesh keeps every source backlogged with deterministic
+// all-to-all traffic, the in-package twin of netbench.Saturator.
+func saturateXYMesh(net *Network, now int64) {
+	n := int64(len(net.Nodes))
+	if int64(net.QueuedPackets()) >= n {
+		return
+	}
+	for src := int64(0); src < n; src++ {
+		dst := (src + n/2 + now%7) % n
+		if dst == src {
+			dst = (dst + 1) % n
+		}
+		net.Offer(net.NewPacket(NodeID(src), NodeID(dst), net.Cfg.PacketLength, now))
+	}
+}
+
+// arrival is one delivered packet's observable footprint.
+type arrival struct {
+	id                       uint64
+	at                       int64
+	energy, onChip, iface    float64
+	hopsOn, hopsPar, hopsSer int32
+}
+
+func TestSaturatedReferenceOracle(t *testing.T) {
+	const side, cycles = 6, 1500
+	run := func(ref bool) (*Network, []arrival) {
+		net := buildXYMesh(t, side, true)
+		net.SetReferenceTick(ref)
+		var got []arrival
+		net.Sink = func(p *Packet) {
+			got = append(got, arrival{p.ID, p.ArrivedAt, p.EnergyPJ, p.EnergyOnChipPJ, p.EnergyIfacePJ,
+				p.HopsOnChip, p.HopsParallel, p.HopsSerial})
+		}
+		for net.Now < cycles {
+			saturateXYMesh(net, net.Now)
+			net.Step()
+			if net.Now%97 == 0 {
+				if err := net.CheckCredits(); err != nil {
+					t.Fatalf("refTick=%v cycle %d: %v", ref, net.Now, err)
+				}
+			}
+		}
+		if err := net.CheckCredits(); err != nil {
+			t.Fatalf("refTick=%v final: %v", ref, err)
+		}
+		return net, got
+	}
+
+	fastNet, fast := run(false)
+	refNet, refArr := run(true)
+
+	if !fastNet.HasRouteLUT() {
+		t.Error("optimized engine built no route LUT for a pure routing")
+	}
+	if refNet.HasRouteLUT() {
+		t.Error("reference engine must not build a route LUT")
+	}
+	if len(fast) == 0 {
+		t.Fatal("no packets delivered under saturation")
+	}
+	if len(fast) != len(refArr) {
+		t.Fatalf("deliveries differ: %d optimized vs %d reference", len(fast), len(refArr))
+	}
+	for i := range fast {
+		if fast[i] != refArr[i] {
+			t.Fatalf("delivery %d diverges: optimized %+v vs reference %+v", i, fast[i], refArr[i])
+		}
+	}
+	if fastNet.VAFailures != refNet.VAFailures {
+		t.Errorf("VAFailures diverge: optimized %d vs reference %d", fastNet.VAFailures, refNet.VAFailures)
+	}
+	if fastNet.GrantsByKind != refNet.GrantsByKind {
+		t.Errorf("GrantsByKind diverge: optimized %v vs reference %v", fastNet.GrantsByKind, refNet.GrantsByKind)
+	}
+	if fastNet.InFlightFlits() != refNet.InFlightFlits() {
+		t.Errorf("in-flight flits diverge: optimized %d vs reference %d", fastNet.InFlightFlits(), refNet.InFlightFlits())
+	}
+	if fastNet.PacketsInjected() != refNet.PacketsInjected() {
+		t.Errorf("injections diverge: optimized %d vs reference %d", fastNet.PacketsInjected(), refNet.PacketsInjected())
+	}
+}

@@ -50,6 +50,17 @@ func (h *HeteroChannel) bias() float64 {
 // Name implements network.Routing.
 func (h *HeteroChannel) Name() string { return "algorithm1-hetero-channel" }
 
+// Stability implements network.Stable. The Eq. 5 mode choice and the cube
+// waypoint depend on the packet's current position (via pkt.Target state),
+// so Route is not pure; but for a packet waiting at one router every input
+// is static and the mutations are idempotent — pkt.Pref is written once at
+// hop 0 and then left alone, pkt.Target is rewritten to the same value
+// (mesh mode: -1; serial mode: the deterministic nearest waypoint) on
+// every retry. Candidates may therefore be cached across VA retries
+// (RouteRetryStable); the Restricted flag, which switches the candidate
+// shape entirely, is part of the engine's memoization key.
+func (h *HeteroChannel) Stability() network.RouteStability { return network.RouteRetryStable }
+
 // Route implements network.Routing.
 func (h *HeteroChannel) Route(net *network.Network, r *network.Router, _ int, pkt *network.Packet, buf []network.Candidate) []network.Candidate {
 	t := h.T

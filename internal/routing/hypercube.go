@@ -132,6 +132,15 @@ type Hypercube struct {
 // Name implements network.Routing.
 func (h *Hypercube) Name() string { return "minus-first-hypercube" }
 
+// Stability implements network.Stable. Route is not pure — the waypoint it
+// stores in pkt.Target depends on where the packet entered the current
+// chiplet — but for a packet waiting at one router the result is stable:
+// phase and waypoint derive from static topology and the packet's
+// unchanged position, and the only mutation (ensureTarget) writes the same
+// waypoint on every retry. That is exactly the RouteRetryStable contract,
+// so the engine may cache candidates on the input VC across VA retries.
+func (h *Hypercube) Stability() network.RouteStability { return network.RouteRetryStable }
+
 // Route implements network.Routing.
 func (h *Hypercube) Route(net *network.Network, r *network.Router, _ int, pkt *network.Packet, buf []network.Candidate) []network.Candidate {
 	t := h.T

@@ -61,6 +61,18 @@ func ForSystem(t *topology.Topo, cfg *network.Config) (network.Routing, error) {
 	}
 }
 
+// Stable re-exports the engine's route-stability capability interface so
+// algorithm implementations and their tests can name it without importing
+// internal/network directly.
+type Stable = network.Stable
+
+// Route-stability levels, re-exported for the same reason.
+const (
+	RouteDynamic     = network.RouteDynamic
+	RouteRetryStable = network.RouteRetryStable
+	RoutePure        = network.RoutePure
+)
+
 // adaptiveMask returns the VC mask of the non-escape VCs (all but VC0).
 func adaptiveMask(vcs int) uint16 { return (uint16(1)<<vcs - 1) &^ 1 }
 
@@ -115,6 +127,11 @@ func (m *Mesh) Route(net *network.Network, r *network.Router, _ int, pkt *networ
 	}
 	return meshCandidates(m.T, net.Cfg.VCs, r, pkt, buf)
 }
+
+// Stability implements network.Stable: both mesh variants read only
+// (router, pkt.Dst, pkt.Restricted) and static topology, mutate nothing
+// and ignore the input port, so the engine may precompute a route LUT.
+func (m *Mesh) Stability() network.RouteStability { return network.RoutePure }
 
 // xyCandidate emits the single XY-routing output: correct X fully, then Y.
 // Deadlock-free by the classic turn argument (no Y→X turns); every VC is
@@ -257,6 +274,26 @@ func (t *Torus) hopCost(p *topology.PortInfo) int {
 		return t.cOn
 	}
 	return t.cIf
+}
+
+// Stability implements network.Stable. On a healthy torus Route is a pure
+// function of (router, pkt.Dst, pkt.Restricted) and the static weighted
+// distances. Once a wraparound channel has failed, Route additionally
+// mutates pkt.Restricted when the packet's minimal weighted path assumed
+// the dead wrap — a mutation confined to the memoization key, which is
+// exactly what RouteRetryStable permits (the cached candidate set is
+// invalidated by the Restricted flip and recomputed on the next attempt).
+// Faults must be injected before the first Step, which the engine's
+// prepare-on-first-Step ordering enforces by construction.
+func (t *Torus) Stability() network.RouteStability {
+	for _, ports := range t.T.OutPorts {
+		for i := range ports {
+			if ports[i].Dead {
+				return network.RouteRetryStable
+			}
+		}
+	}
+	return network.RoutePure
 }
 
 // Route implements network.Routing.

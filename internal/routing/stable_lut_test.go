@@ -1,0 +1,91 @@
+package routing_test
+
+import (
+	"testing"
+
+	"heteroif/internal/experiments"
+	"heteroif/internal/network"
+	"heteroif/internal/topology"
+)
+
+// TestStableLUTMatchesRoute is the property test behind the RC-memoization
+// contract: for every Table 2 system, the routing algorithm's declared
+// stability must hold over the full (router, destination, input port,
+// restricted) space.
+//
+//   - RoutePure algorithms get a per-(router, dst, restricted) LUT built at
+//     first Step; every dynamic Route evaluation — from any input port —
+//     must reproduce the LUT entry exactly, or the engine's lookup would
+//     diverge from the naive reference tick.
+//   - Retry-stable (and weaker) algorithms get no LUT; for them the test
+//     checks the memoization invariant the VC-allocation retry path relies
+//     on: re-evaluating Route under unchanged network state yields an
+//     identical candidate list (idempotent Target rewrites included).
+func TestStableLUTMatchesRoute(t *testing.T) {
+	specs := []topology.Spec{
+		{System: topology.UniformParallelMesh, ChipletsX: 2, ChipletsY: 2, NodesX: 2, NodesY: 2},
+		{System: topology.UniformSerialTorus, ChipletsX: 2, ChipletsY: 2, NodesX: 2, NodesY: 2},
+		{System: topology.HeteroPHYTorus, ChipletsX: 2, ChipletsY: 2, NodesX: 2, NodesY: 2},
+		{System: topology.UniformSerialHypercube, ChipletsX: 2, ChipletsY: 2, NodesX: 2, NodesY: 2},
+		{System: topology.HeteroChannel, ChipletsX: 2, ChipletsY: 2, NodesX: 2, NodesY: 2},
+	}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.System.String(), func(t *testing.T) {
+			in, err := experiments.Build(network.DefaultConfig(), spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			net := in.Net
+			st, ok := net.Routing.(network.Stable)
+			if !ok {
+				t.Fatalf("routing %q declares no stability", net.Routing.Name())
+			}
+			net.Step() // first Step builds the route-acceleration state
+			pure := st.Stability() == network.RoutePure
+			if pure != net.HasRouteLUT() {
+				t.Fatalf("stability %d but HasRouteLUT=%v", st.Stability(), net.HasRouteLUT())
+			}
+
+			var got, again []network.Candidate
+			for _, r := range net.Nodes {
+				for dst := 0; dst < len(net.Nodes); dst++ {
+					if network.NodeID(dst) == r.ID {
+						continue
+					}
+					for _, restricted := range []bool{false, true} {
+						pkt := network.Packet{Dst: network.NodeID(dst), Restricted: restricted, Target: -1}
+						for inPort := range r.In {
+							got = net.Routing.Route(net, r, inPort, &pkt, got[:0])
+							if pure {
+								want := net.LUTCandidates(r.ID, network.NodeID(dst), restricted)
+								if !equalCands(got, want) {
+									t.Fatalf("router %d dst %d inPort %d restricted=%v: Route %v != LUT %v",
+										r.ID, dst, inPort, restricted, got, want)
+								}
+								continue
+							}
+							again = net.Routing.Route(net, r, inPort, &pkt, again[:0])
+							if !equalCands(got, again) {
+								t.Fatalf("router %d dst %d inPort %d restricted=%v: Route unstable across retries: %v then %v",
+									r.ID, dst, inPort, restricted, got, again)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func equalCands(a, b []network.Candidate) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
