@@ -17,6 +17,7 @@ test:
 
 race:
 	$(GO) test -race -short ./...
+	HETEROIF_FORCE_PARALLEL=1 $(GO) test -race -run 'TestParallelOracle' ./internal/experiments -args -oracle.workers=2,4,8
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \
@@ -47,23 +48,31 @@ bench: bench-kernel
 
 # Kernel baseline: run the netbench suite (idle/low-load/saturated meshes
 # at 16/64/256 nodes, saturated also under the reference tick and with
-# parallel stepping) and record BENCH_kernel.json at the repo root.
+# parallel stepping, plus many-chiplet hetero-PHY tori at 1024 and 4096
+# nodes) and record BENCH_kernel.json at the repo root. Run from a clean
+# tree — benchkernel and checkmanifest warn on "-dirty" provenance.
 bench-kernel:
 	$(GO) run ./cmd/benchkernel -o BENCH_kernel.json
 
 benchkernel: bench-kernel
 
 # Fast CI gate over the same kernels: 100 iterations per case plus the
-# idle zero-allocation assertion, then a saturated-case manifest gated
-# against the committed baseline. The 50% tolerance absorbs cross-machine
-# variance (CI runners vs whatever produced BENCH_kernel.json); hot-path
-# regressions that undo the work-list/memoization design are far larger.
+# idle zero-allocation assertion, then a saturated/satpar-case manifest
+# gated against the committed baseline and against parallel ≥ sequential
+# ratios. The 50% baseline tolerance absorbs cross-machine variance (CI
+# runners vs whatever produced BENCH_kernel.json); hot-path regressions
+# that undo the work-list/memoization design are far larger. Ratio gates
+# whose worker count exceeds the host's GOMAXPROCS are skipped with a
+# warning (single-CPU hosts cannot run real parallelism).
 bench-smoke:
 	$(GO) test -run '^$$' -bench Step -benchtime=100x -benchmem ./internal/network
 	$(GO) test -run TestStepIdleZeroAllocs ./internal/network
 	mkdir -p results-ci
-	$(GO) run ./cmd/benchkernel -cases saturated -test.benchtime=0.3s -o results-ci/BENCH_kernel_smoke.json
-	$(GO) run ./cmd/checkmanifest -baseline BENCH_kernel.json -tolerance 0.5 results-ci/BENCH_kernel_smoke.json
+	$(GO) run ./cmd/benchkernel -cases sat -skip 4096nodes -test.benchtime=0.3s -o results-ci/BENCH_kernel_smoke.json
+	$(GO) run ./cmd/checkmanifest -baseline BENCH_kernel.json -tolerance 0.5 \
+		-compare satpar=saturated -min-ratio 1.0 \
+		-compare 'satpar/1024nodes/4workers=saturated/1024nodes:1.5' \
+		results-ci/BENCH_kernel_smoke.json
 
 # CI-scale reproduction of every table and figure, with CSV output.
 experiments:

@@ -1,17 +1,20 @@
 // Command benchkernel records the cycle-engine kernel baseline: it runs
 // the netbench suite (idle / low-load / saturated meshes at 16, 64 and
 // 256 nodes, saturated additionally under the naive reference tick and
-// with 2-worker parallel stepping — the same cases as BenchmarkStep in
-// internal/network) and writes a JSON manifest so the engine's performance
-// trajectory can be tracked across commits.
+// with parallel stepping, plus many-chiplet hetero-PHY tori at 1024 and
+// 4096 nodes — the same cases as BenchmarkStep in internal/network) and
+// writes a JSON manifest so the engine's performance trajectory can be
+// tracked across commits.
 //
 // Usage:
 //
 //	benchkernel -o BENCH_kernel.json            # full run (~1s per case)
-//	benchkernel -test.benchtime=100x -o /dev/stdout  # CI smoke scale
+//	benchkernel -cases sat -skip 4096nodes -test.benchtime=100x -o /dev/stdout  # CI smoke scale
 //
 // The committed BENCH_kernel.json is the baseline `checkmanifest
-// -baseline` gates fresh runs against.
+// -baseline` gates fresh runs against; regenerate it only from a clean
+// tree (a dirty tree draws a provenance warning here and in
+// checkmanifest).
 package main
 
 import (
@@ -29,6 +32,7 @@ import (
 func main() {
 	out := flag.String("o", "BENCH_kernel.json", "output path for the JSON manifest")
 	cases := flag.String("cases", "", "only run cases whose name contains this substring (e.g. saturated)")
+	skip := flag.String("skip", "", "skip cases whose name contains this substring (e.g. 4096nodes)")
 	testing.Init() // exposes -test.benchtime etc. for CI smoke runs
 	flag.Parse()
 
@@ -38,8 +42,14 @@ func main() {
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
+	if m.Dirty() {
+		fmt.Fprintf(os.Stderr, "benchkernel: warning: producing a manifest from a dirty tree (git %s) — do not commit it as the baseline\n", m.Git)
+	}
 	for _, c := range netbench.Cases() {
 		if *cases != "" && !strings.Contains(c.Name, *cases) {
+			continue
+		}
+		if *skip != "" && strings.Contains(c.Name, *skip) {
 			continue
 		}
 		r := testing.Benchmark(c.Bench)

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"encoding/binary"
+	"flag"
+	"hash/fnv"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"heteroif/internal/fault"
+	"heteroif/internal/network"
+	"heteroif/internal/topology"
+	"heteroif/internal/traffic"
+)
+
+// oracle.workers selects the worker counts checked against the sequential
+// run; the CI race job pins it explicitly so the matrix is visible in the
+// workflow file.
+var oracleWorkers = flag.String("oracle.workers", "2,4,8",
+	"comma-separated worker counts TestParallelOracle compares against workers=1")
+
+// oracleFingerprint reduces a run to everything the parallel engine could
+// plausibly perturb: a per-packet arrival hash (identity, timing, energy,
+// hop mix, in sink order — which the coordinator merge fixes), injection
+// and delivery totals, VC-allocation failure counts and the
+// switch-allocation grant mix. Two runs are bit-identical iff their
+// fingerprints are equal.
+type oracleFingerprint struct {
+	arrivalHash uint64
+	injected    int64
+	delivered   int64
+	vaFailures  uint64
+	grants      [8]uint64
+}
+
+// oracleRun executes one full build+run+drain at the given worker count and
+// returns its fingerprint. With faults set it layers the seeded error model
+// and link-layer retry on top and verifies delivered-packet integrity.
+func oracleRun(t *testing.T, sys topology.System, workers int, faults bool) oracleFingerprint {
+	t.Helper()
+	cfg := shortCfg()
+	cfg.SimCycles = 3000
+	cfg.Workers = workers
+	in, err := Build(cfg, topology.Spec{System: sys, ChipletsX: 2, ChipletsY: 2, NodesX: 4, NodesY: 4})
+	if err != nil {
+		t.Fatalf("Build(%v, workers=%d): %v", sys, workers, err)
+	}
+
+	// Wrap the stats sink with an order-sensitive FNV-1a digest of every
+	// delivered packet. Sinks run in deterministic coordinator order, so
+	// any reordering, loss, duplication or field corruption introduced by
+	// parallel stepping changes the hash.
+	prev := in.Net.Sink
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	in.Net.Sink = func(p *network.Packet) {
+		put(p.ID)
+		put(uint64(uint32(p.Src))<<32 | uint64(uint32(p.Dst)))
+		put(uint64(p.Length)<<8 | uint64(p.Class))
+		put(uint64(p.CreatedAt))
+		put(uint64(p.InjectedAt))
+		put(uint64(p.ArrivedAt))
+		put(uint64(uint32(p.HopsOnChip))<<32 | uint64(uint32(p.HopsParallel)))
+		put(uint64(uint32(p.HopsSerial))<<32 | uint64(uint32(p.HopsHetero)))
+		put(math.Float64bits(p.EnergyPJ))
+		put(math.Float64bits(p.EnergyOnChipPJ))
+		put(math.Float64bits(p.EnergyIfacePJ))
+		prev(p)
+	}
+
+	var chk *fault.IntegrityChecker
+	if faults {
+		fault.Attach(in.Net, fault.Config{SerialBER: 2e-4, ParallelBER: 2e-6, Seed: 7})
+		chk = fault.NewIntegrityChecker(in.Net)
+	}
+
+	if err := in.RunSynthetic(traffic.Uniform{}, 0.15); err != nil {
+		t.Fatalf("%v workers=%d: run: %v", sys, workers, err)
+	}
+	drained, err := in.Net.Drain()
+	if err != nil {
+		t.Fatalf("%v workers=%d: drain: %v", sys, workers, err)
+	}
+	if !drained {
+		t.Fatalf("%v workers=%d: did not drain (%d flits in flight)", sys, workers, in.Net.InFlightFlits())
+	}
+	if err := in.Net.CheckCredits(); err != nil {
+		t.Fatalf("%v workers=%d: credit conservation: %v", sys, workers, err)
+	}
+	if chk != nil {
+		if err := chk.Check(in.Net); err != nil {
+			t.Fatalf("%v workers=%d: integrity: %v", sys, workers, err)
+		}
+	}
+
+	return oracleFingerprint{
+		arrivalHash: h.Sum64(),
+		injected:    in.Net.PacketsInjected(),
+		delivered:   in.Net.PacketsDelivered(),
+		vaFailures:  in.Net.VAFailures,
+		grants:      in.Net.GrantsByKind,
+	}
+}
+
+func parseOracleWorkers(t *testing.T) []int {
+	var ws []int
+	for _, f := range strings.Split(*oracleWorkers, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 2 {
+			t.Fatalf("-oracle.workers: bad worker count %q", f)
+		}
+		ws = append(ws, n)
+	}
+	if len(ws) == 0 {
+		t.Fatal("-oracle.workers: empty")
+	}
+	return ws
+}
+
+// TestParallelOracle is the cross-worker-count bit-identity oracle for the
+// parallel stepper: on every Table-2 system (64 nodes, 2×2 chiplets of
+// 4×4), a full run+drain at each -oracle.workers count must reproduce the
+// sequential run's fingerprint exactly — arrival stream, energies, hop
+// mix, VC-allocation failures, grant mix — with credits conserved. A final
+// variant re-runs the hetero-PHY torus with the seeded fault model and
+// link-layer retry active, so retransmission timing also goes through the
+// sharded engine. The CI race job runs this test under -race with worker
+// dispatch forced, which upgrades bit-identity into a data-race check on
+// the shard ownership discipline.
+func TestParallelOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run oracle skipped in -short mode")
+	}
+	counts := parseOracleWorkers(t)
+	systems := []topology.System{
+		topology.UniformParallelMesh,
+		topology.UniformSerialTorus,
+		topology.HeteroPHYTorus,
+		topology.UniformSerialHypercube,
+		topology.HeteroChannel,
+	}
+	for _, sys := range systems {
+		sys := sys
+		t.Run(sys.String(), func(t *testing.T) {
+			want := oracleRun(t, sys, 1, false)
+			if want.delivered == 0 || want.delivered != want.injected {
+				t.Fatalf("sequential reference degenerate: delivered %d of %d", want.delivered, want.injected)
+			}
+			for _, w := range counts {
+				if got := oracleRun(t, sys, w, false); got != want {
+					t.Errorf("workers=%d diverged from sequential:\n got %+v\nwant %+v", w, got, want)
+				}
+			}
+		})
+	}
+	t.Run("hetero-phy-torus/faults+retry", func(t *testing.T) {
+		want := oracleRun(t, topology.HeteroPHYTorus, 1, true)
+		if want.delivered == 0 || want.delivered != want.injected {
+			t.Fatalf("sequential reference degenerate: delivered %d of %d", want.delivered, want.injected)
+		}
+		for _, w := range counts {
+			if got := oracleRun(t, topology.HeteroPHYTorus, w, true); got != want {
+				t.Errorf("workers=%d diverged from sequential:\n got %+v\nwant %+v", w, got, want)
+			}
+		}
+	})
+}

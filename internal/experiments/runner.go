@@ -58,6 +58,9 @@ func Build(cfg network.Config, spec topology.Spec) (*Instance, error) {
 	// wandering — reachable only under fault injection, where the torus
 	// weighted-distance heuristic can point at a dead wraparound.
 	net.LivelockHopBound = 6 * (topo.GX + topo.GY)
+	// Shard the parallel stepper along chiplet rows so cross-shard traffic
+	// rides the D2D interface links.
+	net.SetShardCuts(topo.ShardCuts())
 	if cfg.Workers > 1 {
 		net.SetWorkers(cfg.Workers)
 	}

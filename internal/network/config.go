@@ -131,8 +131,11 @@ type Config struct {
 	RouteLUTNodes int
 
 	// Workers enables deterministic parallel stepping across this many
-	// goroutines (≤1 = sequential). Results are bit-identical to
-	// sequential runs; useful for the paper-scale (3136-node) systems.
+	// shards (≤1 = sequential). Shards cut along chiplet boundaries when
+	// the topology declares them (Network.SetShardCuts) and rebalance to
+	// the live load at quiescence points; on a single-CPU process the
+	// shards run inline. Results are bit-identical to sequential runs for
+	// any value; worth it for saturated many-chiplet systems (1K+ nodes).
 	Workers int
 
 	// Seed seeds the run's random source.

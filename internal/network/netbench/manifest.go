@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strings"
 )
 
 // ManifestSchema identifies kernel benchmark manifests; checkmanifest
@@ -87,6 +88,76 @@ func (m *Manifest) Check() error {
 				c.Name, c.Iterations, c.NsPerOp, c.CyclesPerSec)
 		}
 		seen[c.Name] = true
+	}
+	return nil
+}
+
+// Dirty reports whether the manifest was produced from a git tree with
+// uncommitted changes (benchkernel stamps such trees "<hash>-dirty"), so
+// gates can warn that its numbers have untracked provenance.
+func (m *Manifest) Dirty() bool { return strings.HasSuffix(m.Git, "-dirty") }
+
+// ComparePairs enforces a throughput ratio between two case families
+// within m: every case whose name starts with newPrefix must reach at
+// least minRatio × the cycles/sec of the case with basePrefix and the
+// same node count (preferring the base family's sequential entry when
+// several share a node count). This is the parallel ≥ sequential gate:
+// e.g. ComparePairs("satpar", "saturated", 1.0, ...).
+//
+// A new-family case whose worker count exceeds the manifest's GOMAXPROCS
+// cannot have run real parallelism (the host lacked the CPUs) and is
+// skipped with a warning through warnf rather than failed — the gate
+// binds on multi-core hosts and degrades loudly, not falsely, elsewhere.
+// It is an error if no case matches newPrefix at all.
+func (m *Manifest) ComparePairs(newPrefix, basePrefix string, minRatio float64, warnf func(format string, args ...any)) error {
+	if warnf == nil {
+		warnf = func(string, ...any) {}
+	}
+	bases := make(map[int]*CaseResult)
+	for i := range m.Cases {
+		c := &m.Cases[i]
+		if !strings.HasPrefix(c.Name, basePrefix) {
+			continue
+		}
+		if prev, ok := bases[c.Nodes]; !ok || (prev.Workers > 0 && c.Workers == 0) {
+			bases[c.Nodes] = c
+		}
+	}
+	var violations []string
+	found, enforced := 0, 0
+	for i := range m.Cases {
+		c := &m.Cases[i]
+		if !strings.HasPrefix(c.Name, newPrefix) {
+			continue
+		}
+		found++
+		b, ok := bases[c.Nodes]
+		if !ok {
+			violations = append(violations, fmt.Sprintf(
+				"%s: no %q case at %d nodes to compare against", c.Name, basePrefix, c.Nodes))
+			continue
+		}
+		if c.Workers > m.GOMAXPROCS {
+			warnf("%s: skipped, needs %d workers but the run had GOMAXPROCS=%d",
+				c.Name, c.Workers, m.GOMAXPROCS)
+			continue
+		}
+		enforced++
+		if c.CyclesPerSec < minRatio*b.CyclesPerSec {
+			violations = append(violations, fmt.Sprintf(
+				"%s: %.0f cycles/sec < %.2f× %s (%.0f cycles/sec, ratio %.2f)",
+				c.Name, c.CyclesPerSec, minRatio, b.Name, b.CyclesPerSec,
+				c.CyclesPerSec/b.CyclesPerSec))
+		}
+	}
+	if found == 0 {
+		return fmt.Errorf("compare %s=%s: no case matches prefix %q", newPrefix, basePrefix, newPrefix)
+	}
+	if enforced == 0 && len(violations) == 0 {
+		warnf("compare %s=%s: every matching case was skipped (single-CPU run?)", newPrefix, basePrefix)
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("throughput ratio violations: %s", strings.Join(violations, "; "))
 	}
 	return nil
 }

@@ -4,9 +4,11 @@
 // points (idle, low load, saturated). It exists so that both the
 // BenchmarkStep suite in internal/network and cmd/benchkernel (which
 // records the BENCH_kernel.json perf-trajectory manifest) exercise exactly
-// the same kernels. It deliberately avoids internal/topology and
-// internal/traffic: the benchmark measures Network.Step, not topology
-// construction or Bernoulli sampling.
+// the same kernels. The mesh kernels deliberately avoid internal/topology
+// and internal/traffic; the many-chiplet kernels (1024 and 4096 nodes)
+// build the paper's hetero-PHY torus through internal/topology and
+// internal/routing, but the load stays deterministic and schedule-driven —
+// the benchmark measures Network.Step, not Bernoulli sampling.
 package netbench
 
 import (
@@ -15,6 +17,8 @@ import (
 	"testing"
 
 	"heteroif/internal/network"
+	"heteroif/internal/routing"
+	"heteroif/internal/topology"
 )
 
 // Direction indices into xyRouting.ports.
@@ -91,6 +95,39 @@ func BuildMesh(side int) *network.Network {
 	}
 	net.Routing = rt
 	net.Finalize()
+	// Declare mesh-row starts as preferred shard cuts for parallel cases
+	// (the single-chiplet analogue of topology.Topo.ShardCuts).
+	cuts := make([]int, 0, side-1)
+	for b := side; b < n; b += side {
+		cuts = append(cuts, b)
+	}
+	net.SetShardCuts(cuts)
+	net.PoolPackets = true
+	return net
+}
+
+// BuildHeteroTorus constructs a chipletsX×chipletsY hetero-PHY 2D-torus
+// of nodesX×nodesY-node chiplets (the paper's Fig. 6a system) with its
+// production routing algorithm and chiplet-row shard cuts declared,
+// finalized and ready to step. This is the many-chiplet regime where
+// parallel stepping must win — the 1024- and 4096-node kernel cases.
+func BuildHeteroTorus(chipletsX, chipletsY, nodesX, nodesY int) *network.Network {
+	cfg := network.DefaultConfig()
+	net, topo, err := topology.Build(cfg, topology.Spec{
+		System:    topology.HeteroPHYTorus,
+		ChipletsX: chipletsX, ChipletsY: chipletsY,
+		NodesX: nodesX, NodesY: nodesY,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("netbench: %v", err))
+	}
+	alg, err := routing.ForSystem(topo, &net.Cfg)
+	if err != nil {
+		panic(fmt.Sprintf("netbench: %v", err))
+	}
+	net.Routing = alg
+	net.Finalize()
+	net.SetShardCuts(topo.ShardCuts())
 	net.PoolPackets = true
 	return net
 }
@@ -170,9 +207,17 @@ type Case struct {
 const lowLoadChunk = 1024
 
 // saturate drives net to steady-state saturation and returns the driver.
+// The warmup deepens with network size: a many-chiplet torus overshoots
+// its steady in-flight population during the first few thousand cycles
+// (credit backpressure has not propagated yet) and needs several sweeps
+// for the packet pool and buffer occupancy to settle.
 func saturate(net *network.Network) *Saturator {
 	sat := &Saturator{Net: net, Length: net.Cfg.PacketLength}
-	for net.Now < 2000 {
+	warm := int64(2000)
+	if n := int64(len(net.Nodes)); n > 256 {
+		warm = 2000 + 6*n
+	}
+	for net.Now < warm {
 		sat.Drive(net.Now)
 		net.Step()
 	}
@@ -251,29 +296,67 @@ func Cases() []Case {
 		)
 		if n >= 64 {
 			const workers = 2
-			cs = append(cs, Case{
-				Name: fmt.Sprintf("satpar/%dnodes/%dworkers", n, workers), Nodes: n, Workers: workers, CyclesPerOp: 1,
-				Bench: func(b *testing.B) {
-					prev := runtime.GOMAXPROCS(0)
-					if prev < workers {
-						runtime.GOMAXPROCS(workers)
-						defer runtime.GOMAXPROCS(prev)
-					}
-					net := BuildMesh(side)
-					net.SetWorkers(workers)
-					sat := saturate(net)
-					b.ReportAllocs()
-					b.ResetTimer()
-					for i := 0; i < b.N; i++ {
-						sat.Drive(net.Now)
-						net.Step()
-					}
-					reportCyclesPerSec(b, 1)
-				},
-			})
+			cs = append(cs, satparCase(n, workers, func() *network.Network { return BuildMesh(side) }))
+		}
+	}
+	// Many-chiplet hetero-PHY tori: the regime the paper's systems target
+	// and where parallel stepping must beat sequential (gated by
+	// checkmanifest -compare against the saturated/<n>nodes twins).
+	for _, tc := range []struct {
+		cx, cy, nx, ny int
+		workers        []int
+	}{
+		{4, 4, 8, 8, []int{2, 4}}, // 1024 nodes
+		{8, 8, 8, 8, []int{4}},    // 4096 nodes
+	} {
+		tc := tc
+		n := tc.cx * tc.nx * tc.cy * tc.ny
+		build := func() *network.Network { return BuildHeteroTorus(tc.cx, tc.cy, tc.nx, tc.ny) }
+		cs = append(cs, Case{
+			Name: fmt.Sprintf("saturated/%dnodes", n), Nodes: n, CyclesPerOp: 1,
+			Bench: func(b *testing.B) {
+				net := build()
+				sat := saturate(net)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sat.Drive(net.Now)
+					net.Step()
+				}
+				reportCyclesPerSec(b, 1)
+			},
+		})
+		for _, workers := range tc.workers {
+			cs = append(cs, satparCase(n, workers, build))
 		}
 	}
 	return cs
+}
+
+// satparCase is one parallel-stepping saturated case: it raises GOMAXPROCS
+// to the worker count before SetWorkers (which samples the usable CPUs) so
+// the case measures real dispatch wherever the host has the cores.
+func satparCase(n, workers int, build func() *network.Network) Case {
+	return Case{
+		Name: fmt.Sprintf("satpar/%dnodes/%dworkers", n, workers), Nodes: n, Workers: workers, CyclesPerOp: 1,
+		Bench: func(b *testing.B) {
+			prev := runtime.GOMAXPROCS(0)
+			if prev < workers {
+				runtime.GOMAXPROCS(workers)
+				defer runtime.GOMAXPROCS(prev)
+			}
+			net := build()
+			net.SetWorkers(workers)
+			sat := saturate(net)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sat.Drive(net.Now)
+				net.Step()
+			}
+			reportCyclesPerSec(b, 1)
+		},
+	}
 }
 
 func reportCyclesPerSec(b *testing.B, cyclesPerOp int64) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 	"math/rand"
+	"sync/atomic"
 )
 
 // Network is a complete multi-chiplet interconnection system: routers,
@@ -73,6 +74,9 @@ type Network struct {
 
 	par        *parallelState
 	seqScratch workerScratch
+	// shardCuts are the preferred shard boundaries (chiplet rows) declared
+	// via SetShardCuts, consulted by the parallel partitioner.
+	shardCuts []int
 
 	// Route-acceleration state, derived on the first Step (after topology
 	// construction and any fault injection) from the routing algorithm's
@@ -320,7 +324,7 @@ func (net *Network) Step() {
 		keep := net.fwdWake[:0]
 		for _, li := range net.fwdWake {
 			l := net.Links[li]
-			net.linkArrivals(l, net.deliverFns[li], &net.moved)
+			net.linkArrivals(l, net.deliverFns[li], &net.moved, false)
 			if l.fwdBusy() {
 				keep = append(keep, li)
 			} else {
@@ -364,14 +368,16 @@ func (net *Network) Step() {
 // retry links keep the per-flit path — their Tick interleaves protocol
 // work with delivery. deliverFn and moved are the caller's per-flit
 // closure and movement accumulator (net.deliverFns/net.moved
-// sequentially, the shard-bound twins in parallel mode).
-func (net *Network) linkArrivals(l *Link, deliverFn func(Flit), moved *uint64) {
+// sequentially, the shard-bound twins in parallel mode). atomicWake marks
+// the destination's wake word as shared between shards, requiring an
+// atomic set (always false sequentially).
+func (net *Network) linkArrivals(l *Link, deliverFn func(Flit), moved *uint64, atomicWake bool) {
 	if l.Adapter != nil || l.retry != nil {
 		l.Arrivals(net.Now, deliverFn)
 		return
 	}
 	if l.direct {
-		net.commitDirect(l, moved)
+		net.commitDirect(l, moved, atomicWake)
 		return
 	}
 	arr := l.takeArrivals()
@@ -379,8 +385,19 @@ func (net *Network) linkArrivals(l *Link, deliverFn func(Flit), moved *uint64) {
 		return
 	}
 	net.Nodes[l.Dst].deliverRun(l.DstPort, arr)
-	net.nodeWake[uint(l.Dst)>>6] |= 1 << (uint(l.Dst) & 63)
+	net.wakeNodeMode(l.Dst, atomicWake)
 	*moved += uint64(len(arr))
+}
+
+// wakeNodeMode is wakeNode with an optional atomic set for wake words
+// shared between parallel shards.
+func (net *Network) wakeNodeMode(id NodeID, atomicOr bool) {
+	wi, bit := uint(id)>>6, uint64(1)<<(uint(id)&63)
+	if atomicOr {
+		atomic.OrUint64(&net.nodeWake[wi], bit)
+	} else {
+		net.nodeWake[wi] |= bit
+	}
 }
 
 // commitDirect publishes a direct link's staged flits: they already sit in
@@ -389,7 +406,7 @@ func (net *Network) linkArrivals(l *Link, deliverFn func(Flit), moved *uint64) {
 // pending slots and account the batch, with no flit copies. Runs on the
 // destination router's shard in the link phase, after the barrier that
 // quiesced the staging producer.
-func (net *Network) commitDirect(l *Link, moved *uint64) {
+func (net *Network) commitDirect(l *Link, moved *uint64, atomicWake bool) {
 	l.accepted = 0
 	if len(l.staged) == 0 {
 		return
@@ -408,7 +425,7 @@ func (net *Network) commitDirect(l *Link, moved *uint64) {
 	l.staged = l.staged[:0]
 	l.inFlight -= total
 	r.buffered += total
-	net.nodeWake[uint(l.Dst)>>6] |= 1 << (uint(l.Dst) & 63)
+	net.wakeNodeMode(l.Dst, atomicWake)
 	*moved += uint64(total)
 }
 
@@ -440,7 +457,7 @@ func (net *Network) injectNodes(sc *workerScratch, wlo, whi int) {
 			b := bits.TrailingZeros64(w)
 			w &^= 1 << uint(b)
 			ni := wi<<6 + b
-			net.injectNode(ni, sc)
+			net.injectNode(ni, sc, false)
 			s := &net.sources[ni]
 			if s.cur == nil && s.head == len(s.q) {
 				net.srcWake[wi] &^= 1 << uint(b)
@@ -509,8 +526,9 @@ func (net *Network) watchdog() {
 }
 
 // injectNode moves flits from one node's source queue into its
-// injection-port buffers, accumulating counters into sc.
-func (net *Network) injectNode(n int, sc *workerScratch) {
+// injection-port buffers, accumulating counters into sc. atomicWake marks
+// the node's wake word as shared between parallel shards.
+func (net *Network) injectNode(n int, sc *workerScratch, atomicWake bool) {
 	{
 		s := &net.sources[n]
 		if s.cur == nil && s.head == len(s.q) {
@@ -571,7 +589,7 @@ func (net *Network) injectNode(n int, sc *workerScratch) {
 			}
 			vc := &in.VCs[s.curVC]
 			if budget > 0 && s.curSeq < int32(s.cur.Length) && vc.Buf.Free() > 0 {
-				net.wakeNode(r.ID)
+				net.wakeNodeMode(r.ID, atomicWake)
 				if !vc.Active {
 					// The VC will hold a head flit awaiting RC+VA next
 					// cycle (if it already does, re-marking is a no-op).
@@ -627,6 +645,11 @@ func (net *Network) RunWith(cycles int64, drive func(now int64), next func(now i
 		if (drive != nil && next == nil) || !net.idle() {
 			continue
 		}
+		// A quiescence boundary: the cheapest point to re-shard, and the
+		// only one where repartitioning cost is off any critical path.
+		if p := net.par; p != nil {
+			p.maybeRebalance(net)
+		}
 		target := end
 		if t := net.nextSourceEvent(); t >= 0 && t < target {
 			target = t
@@ -654,6 +677,9 @@ func (net *Network) Drain() (bool, error) {
 			return true, nil
 		}
 		if net.idle() {
+			if p := net.par; p != nil {
+				p.maybeRebalance(net)
+			}
 			if t := net.nextSourceEvent(); t > net.Now {
 				net.Now = min(t, deadline)
 				continue

@@ -157,6 +157,22 @@ func (t *Topo) ChipletOrigin(c int) (gx, gy int) {
 	return cx * t.NodesX, cy * t.NodesY
 }
 
+// ShardCuts returns the node indices at chiplet-row boundaries — the
+// starts of each horizontal row of chiplets in the row-major node
+// numbering. Nodes of one chiplet row are contiguous (a chiplet itself is
+// not), so cutting the parallel stepper's shards here keeps every chiplet
+// whole within a shard: cross-shard traffic crosses chiplet boundaries on
+// the modeled D2D interface links rather than intra-chiplet mesh hops.
+// Feed the result to network.SetShardCuts before SetWorkers.
+func (t *Topo) ShardCuts() []int {
+	row := t.GX * t.NodesY
+	cuts := make([]int, 0, t.ChipletsY-1)
+	for b := row; b < t.N; b += row {
+		cuts = append(cuts, b)
+	}
+	return cuts
+}
+
 // SameChiplet reports whether two nodes are on the same chiplet.
 func (t *Topo) SameChiplet(a, b network.NodeID) bool {
 	return t.ChipletID(a) == t.ChipletID(b)
