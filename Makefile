@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench benchkernel bench-kernel bench-smoke experiments experiments-full examples vet fmt-check smoke fault ci clean
+.PHONY: all build test race bench benchkernel bench-kernel bench-smoke prof experiments experiments-full examples vet fmt-check smoke fault ci clean
 
 all: build test
 
@@ -57,22 +57,42 @@ bench-kernel:
 benchkernel: bench-kernel
 
 # Fast CI gate over the same kernels: 100 iterations per case plus the
-# idle zero-allocation assertion, then a saturated/satpar-case manifest
-# gated against the committed baseline and against parallel ≥ sequential
+# steady-state zero-allocation assertions (idle, saturated sequential,
+# saturated parallel), then a saturated/satpar-case manifest gated
+# against the committed baseline and against in-manifest throughput
 # ratios. The 50% baseline tolerance absorbs cross-machine variance (CI
-# runners vs whatever produced BENCH_kernel.json); hot-path regressions
-# that undo the work-list/memoization design are far larger. Ratio gates
-# whose worker count exceeds the host's GOMAXPROCS are skipped with a
-# warning (single-CPU hosts cannot run real parallelism).
+# runners vs whatever produced BENCH_kernel.json; the same build has
+# been observed swinging ±20% run-to-run on a shared single-vCPU box,
+# so the spread does not allow tightening it) — hot-path regressions
+# that undo the work-list/memoization/SoA design are far larger, and
+# the machine-independent gate is the saturated=satref pair ratio: the
+# SoA hot path must stay well ahead of the retained naive reference
+# tick measured in the same run (pre-SoA ratios were 1.34×/1.17× at
+# 64/256 nodes; post-SoA runs measure 1.6×, gated with noise margin).
+# Ratio gates whose worker count exceeds the host's GOMAXPROCS are
+# skipped with a warning (single-CPU hosts cannot run real
+# parallelism); checkmanifest prints how many were enforced vs skipped.
 bench-smoke:
 	$(GO) test -run '^$$' -bench Step -benchtime=100x -benchmem ./internal/network
-	$(GO) test -run TestStepIdleZeroAllocs ./internal/network
+	$(GO) test -run ZeroAllocs ./internal/network
 	mkdir -p results-ci
 	$(GO) run ./cmd/benchkernel -cases sat -skip 4096nodes -test.benchtime=0.3s -o results-ci/BENCH_kernel_smoke.json
 	$(GO) run ./cmd/checkmanifest -baseline BENCH_kernel.json -tolerance 0.5 \
 		-compare satpar=saturated -min-ratio 1.0 \
 		-compare 'satpar/1024nodes/4workers=saturated/1024nodes:1.5' \
+		-compare 'saturated/64nodes=satref/64nodes:1.45' \
+		-compare 'saturated/256nodes=satref/256nodes:1.25' \
 		results-ci/BENCH_kernel_smoke.json
+
+# CPU and heap profiles of the saturated 256-node kernel — the case the
+# SoA hot-path work targets. Profiles and the test binary land in
+# results-ci/prof/; inspect with
+#   go tool pprof results-ci/prof/network.test results-ci/prof/cpu.prof
+prof:
+	mkdir -p results-ci/prof
+	$(GO) test -run '^$$' -bench 'Step/saturated/256nodes' -benchtime 2s -benchmem \
+		-cpuprofile results-ci/prof/cpu.prof -memprofile results-ci/prof/mem.prof \
+		-o results-ci/prof/network.test ./internal/network
 
 # CI-scale reproduction of every table and figure, with CSV output.
 experiments:

@@ -10,6 +10,7 @@
 //
 //	benchkernel -o BENCH_kernel.json            # full run (~1s per case)
 //	benchkernel -cases sat -skip 4096nodes -test.benchtime=100x -o /dev/stdout  # CI smoke scale
+//	benchkernel -list                           # print case names and exit
 //
 // The committed BENCH_kernel.json is the baseline `checkmanifest
 // -baseline` gates fresh runs against; regenerate it only from a clean
@@ -33,8 +34,16 @@ func main() {
 	out := flag.String("o", "BENCH_kernel.json", "output path for the JSON manifest")
 	cases := flag.String("cases", "", "only run cases whose name contains this substring (e.g. saturated)")
 	skip := flag.String("skip", "", "skip cases whose name contains this substring (e.g. 4096nodes)")
+	list := flag.Bool("list", false, "print the available case names and exit")
 	testing.Init() // exposes -test.benchtime etc. for CI smoke runs
 	flag.Parse()
+
+	if *list {
+		for _, c := range netbench.Cases() {
+			fmt.Println(c.Name)
+		}
+		return
+	}
 
 	m := netbench.Manifest{
 		Schema:     netbench.ManifestSchema,
@@ -71,6 +80,12 @@ func main() {
 			cr.Name, cr.NsPerOp, cr.CyclesPerSec, cr.AllocsPerOp)
 	}
 
+	if len(m.Cases) == 0 {
+		// An empty manifest is always a filter typo: fail loudly instead
+		// of writing a baseline that gates nothing.
+		fmt.Fprintf(os.Stderr, "benchkernel: no cases match -cases=%q -skip=%q (run with -list to see case names)\n", *cases, *skip)
+		os.Exit(1)
+	}
 	if err := m.WriteManifest(*out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchkernel:", err)
 		os.Exit(1)

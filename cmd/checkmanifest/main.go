@@ -132,6 +132,7 @@ func checkOne(path string, base *netbench.Manifest, tolerance float64, compares 
 			}
 			gates = append(gates, fmt.Sprintf("within %.0f%% of baseline", tolerance*100))
 		}
+		var total netbench.CompareStats
 		for _, spec := range compares {
 			ratio := spec.ratio
 			if ratio < 0 {
@@ -140,10 +141,20 @@ func checkOne(path string, base *netbench.Manifest, tolerance float64, compares 
 			warnf := func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "checkmanifest: warning: %s: %s\n", path, fmt.Sprintf(format, args...))
 			}
-			if err := m.ComparePairs(spec.newPrefix, spec.basePrefix, ratio, warnf); err != nil {
+			st, err := m.ComparePairs(spec.newPrefix, spec.basePrefix, ratio, warnf)
+			if err != nil {
 				return err
 			}
+			total.Enforced += st.Enforced
+			total.Skipped += st.Skipped
 			gates = append(gates, fmt.Sprintf("%s ≥ %.2f× %s", spec.newPrefix, ratio, spec.basePrefix))
+		}
+		if len(compares) > 0 {
+			// Summarize how much of the ratio gating was live: skipped
+			// pairings (GOMAXPROCS guard) weaken the gate silently
+			// otherwise.
+			fmt.Printf("%s: ratio gates: %d enforced, %d skipped by GOMAXPROCS guard\n",
+				path, total.Enforced, total.Skipped)
 		}
 		if len(gates) > 0 {
 			fmt.Printf("%s: ok (kernel, %d cases, %s)\n", path, len(m.Cases), strings.Join(gates, ", "))

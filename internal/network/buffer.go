@@ -90,6 +90,11 @@ func (q *FlitQueue) FrontPkt() *Packet { return q.buf[q.head].Pkt }
 // the whole flit. It must not be called on an empty queue.
 func (q *FlitQueue) FrontSeq() int32 { return q.buf[q.head].Seq }
 
+// frontRef returns a pointer to the oldest flit in place. The reference is
+// invalidated by the next mutation. It must not be called on an empty
+// queue.
+func (q *FlitQueue) frontRef() *Flit { return &q.buf[q.head] }
+
 // At returns the i-th oldest flit (0 = front). It must be in range.
 func (q *FlitQueue) At(i int) Flit {
 	j := q.head + i
@@ -110,15 +115,18 @@ func (q *FlitQueue) PeekRun(n int) (a, b []Flit) {
 	return q.buf[q.head:], q.buf[:end-len(q.buf)]
 }
 
-// Drop removes the n oldest flits (zeroing their slots so packet pointers
-// are released). n must not exceed Len.
+// Drop removes the n oldest flits, releasing their packet pointers. Only
+// the Pkt field is cleared: the scalar remainder of a dead slot is never
+// read (Push/stagePut/stageSpan overwrite whole flits), and zeroing 8 of
+// the 64 bytes keeps the GC write out of the drain hot path. n must not
+// exceed Len.
 func (q *FlitQueue) Drop(n int) {
 	a, b := q.PeekRun(n)
 	for i := range a {
-		a[i] = Flit{}
+		a[i].Pkt = nil
 	}
 	for i := range b {
-		b[i] = Flit{}
+		b[i].Pkt = nil
 	}
 	q.head += n
 	if q.head >= len(q.buf) {
@@ -127,11 +135,11 @@ func (q *FlitQueue) Drop(n int) {
 	q.n -= n
 }
 
-// Pop removes and returns the oldest flit. It must not be called on an
-// empty queue.
+// Pop removes and returns the oldest flit (releasing the slot's packet
+// pointer, like Drop). It must not be called on an empty queue.
 func (q *FlitQueue) Pop() Flit {
 	f := q.buf[q.head]
-	q.buf[q.head] = Flit{}
+	q.buf[q.head].Pkt = nil
 	q.head++
 	if q.head == len(q.buf) {
 		q.head = 0

@@ -39,7 +39,7 @@ func (net *Network) TakeSnapshot(topN int) Snapshot {
 		occ := 0
 		for _, in := range r.In {
 			for v := range in.VCs {
-				buf := in.VCs[v].Buf
+				buf := &in.VCs[v].Buf
 				n := buf.Len()
 				occ += n
 				s.FlitsBuffered += int64(n)

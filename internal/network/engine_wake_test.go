@@ -19,7 +19,7 @@ func TestInjectVCChoiceByClass(t *testing.T) {
 		in := r.In[r.InjectPort]
 		// Fill the injection buffers to the free-space pattern [0, 3, 5, 2].
 		for v, free := range []int{0, 3, 5, 2} {
-			buf := in.VCs[v].Buf
+			buf := &in.VCs[v].Buf
 			for buf.Free() > free {
 				buf.Push(Flit{})
 			}

@@ -1,5 +1,7 @@
 package network
 
+import "math/bits"
+
 // Adapter is the behavioral interface of a heterogeneous-PHY die-to-die
 // adapter (Sec. 4.2). A Link with a non-nil Adapter delegates flit transport
 // to it instead of the plain bandwidth×delay pipeline; the adapter owns the
@@ -80,6 +82,15 @@ type Link struct {
 	fwdQueued bool
 	crQueued  bool
 
+	// credPend/credMask hold the Delay-1 credit return batch in place (the
+	// credit pipe degenerates to a single stage there): per-VC counts plus
+	// the credited-VC mask, filled by ReturnCredits during the source tick
+	// and applied+cleared by creditArrivals next phase 1 — same timing as
+	// the one-stage pipe, without the heap slice. Deeper pipes keep
+	// creditPipe. Sized for the config ceiling of 8 VCs.
+	credPend [8]int32
+	credMask uint16
+
 	// SentTotal counts flits ever accepted (utilization diagnostics).
 	SentTotal uint64
 
@@ -91,6 +102,13 @@ type Link struct {
 
 	dstIn  *InPort     // destination input port, for direct staging
 	staged []creditRun // per-VC staged run lengths, acceptance order
+
+	// srcOut/srcRouter are the source router's output port for this link
+	// and the router itself, bound by Finalize so credit completion applies
+	// a cycle's whole batch straight to the counters (creditArrivals)
+	// instead of calling a per-run closure.
+	srcOut    *OutPort
+	srcRouter *Router
 }
 
 // NewLink constructs a link of the given kind with bandwidth/delay/energy
@@ -294,6 +312,12 @@ func (l *Link) stageRun(vc VCID, n int) {
 // ReturnCredits sends n credits for the given downstream VC in one call
 // (the bulk counterpart of ReturnCredit).
 func (l *Link) ReturnCredits(vc VCID, n int) {
+	if l.Delay == 1 {
+		l.credPend[vc] += int32(n)
+		l.credMask |= 1 << uint(vc)
+		l.creditsInFlight += n
+		return
+	}
 	slot := l.creditHead + l.Delay - 1
 	if slot >= l.Delay {
 		slot -= l.Delay
@@ -358,6 +382,20 @@ func (l *Link) ReturnCredit(vc VCID) {
 // CreditArrivals advances the credit pipeline one cycle and invokes restore
 // for every credit completing its return trip.
 func (l *Link) CreditArrivals(restore func(VCID)) {
+	if l.Delay == 1 {
+		m := l.credMask
+		l.credMask = 0
+		for ; m != 0; m &= m - 1 {
+			v := VCID(bits.TrailingZeros16(m))
+			n := l.credPend[v]
+			l.credPend[v] = 0
+			l.creditsInFlight -= int(n)
+			for i := int32(0); i < n; i++ {
+				restore(v)
+			}
+		}
+		return
+	}
 	arr := l.creditPipe[l.creditHead]
 	l.creditPipe[l.creditHead] = arr[:0]
 	l.creditHead++
@@ -372,20 +410,62 @@ func (l *Link) CreditArrivals(restore func(VCID)) {
 	}
 }
 
-// creditArrivalsRun is CreditArrivals with each run-length-encoded entry
-// handed to restore(vc, count) as one call. A bulk run transfer's
-// ReturnCredits appears here as a single restore — the common case at
-// saturation.
-func (l *Link) creditArrivalsRun(restore func(VCID, int)) {
-	arr := l.creditPipe[l.creditHead]
-	l.creditPipe[l.creditHead] = arr[:0]
-	l.creditHead++
-	if l.creditHead == l.Delay {
-		l.creditHead = 0
+// creditArrivals advances the credit pipeline one cycle and applies the
+// completing batch directly to the source router's counters (srcOut bound
+// by Finalize): all credit sums first, then one unpark pass and one
+// ready-list wake per credited VC. Identical outcome to the per-run
+// closure path — credit application touches neither the parked sets nor
+// waitSlot, unparkPort is idempotent within a cycle (the first call moves
+// every watcher), and a VC's wake fires on its first credited run — but
+// with one pass per link per cycle instead of per run. Runs on the
+// source router's shard in parallel mode, like the closures it replaces.
+func (l *Link) creditArrivals() {
+	var credited uint16
+	out := l.srcOut
+	if l.Delay == 1 {
+		credited = l.credMask
+		if credited == 0 {
+			return
+		}
+		l.credMask = 0
+		total := int32(0)
+		for m := credited; m != 0; m &= m - 1 {
+			v := bits.TrailingZeros16(m)
+			out.Credits[v] += int(l.credPend[v])
+			total += l.credPend[v]
+			l.credPend[v] = 0
+		}
+		l.creditsInFlight -= int(total)
+	} else {
+		arr := l.creditPipe[l.creditHead]
+		l.creditPipe[l.creditHead] = arr[:0]
+		l.creditHead++
+		if l.creditHead == l.Delay {
+			l.creditHead = 0
+		}
+		if len(arr) == 0 {
+			return
+		}
+		total := 0
+		for _, cr := range arr {
+			out.Credits[cr.vc] += int(cr.n)
+			credited |= 1 << uint(cr.vc)
+			total += int(cr.n)
+		}
+		l.creditsInFlight -= total
 	}
-	for _, cr := range arr {
-		l.creditsInFlight -= int(cr.n)
-		restore(cr.vc, int(cr.n))
+	// A credit arrival can turn a failing VC allocation at the source
+	// router into a succeeding one, so it returns allocations parked on
+	// this output to the pending set, and puts a switch-stage slot starved
+	// of credits on a credited VC back on the ready list.
+	src := l.srcRouter
+	src.unparkPort(out)
+	for m := credited; m != 0; m &= m - 1 {
+		v := bits.TrailingZeros16(m)
+		if ws := out.waitSlot[v]; ws >= 0 {
+			out.waitSlot[v] = -1
+			src.saReady[ws>>6] |= 1 << (uint(ws) & 63)
+		}
 	}
 }
 

@@ -108,8 +108,10 @@ func (m *Manifest) Dirty() bool { return strings.HasSuffix(m.Git, "-dirty") }
 // cannot have run real parallelism (the host lacked the CPUs) and is
 // skipped with a warning through warnf rather than failed — the gate
 // binds on multi-core hosts and degrades loudly, not falsely, elsewhere.
-// It is an error if no case matches newPrefix at all.
-func (m *Manifest) ComparePairs(newPrefix, basePrefix string, minRatio float64, warnf func(format string, args ...any)) error {
+// It is an error if no case matches newPrefix at all. The returned stats
+// say how many pairings the gate actually enforced versus skipped, so
+// callers can summarize how much of the gate was live on this host.
+func (m *Manifest) ComparePairs(newPrefix, basePrefix string, minRatio float64, warnf func(format string, args ...any)) (CompareStats, error) {
 	if warnf == nil {
 		warnf = func(string, ...any) {}
 	}
@@ -124,7 +126,8 @@ func (m *Manifest) ComparePairs(newPrefix, basePrefix string, minRatio float64, 
 		}
 	}
 	var violations []string
-	found, enforced := 0, 0
+	var st CompareStats
+	found := 0
 	for i := range m.Cases {
 		c := &m.Cases[i]
 		if !strings.HasPrefix(c.Name, newPrefix) {
@@ -138,11 +141,12 @@ func (m *Manifest) ComparePairs(newPrefix, basePrefix string, minRatio float64, 
 			continue
 		}
 		if c.Workers > m.GOMAXPROCS {
+			st.Skipped++
 			warnf("%s: skipped, needs %d workers but the run had GOMAXPROCS=%d",
 				c.Name, c.Workers, m.GOMAXPROCS)
 			continue
 		}
-		enforced++
+		st.Enforced++
 		if c.CyclesPerSec < minRatio*b.CyclesPerSec {
 			violations = append(violations, fmt.Sprintf(
 				"%s: %.0f cycles/sec < %.2f× %s (%.0f cycles/sec, ratio %.2f)",
@@ -151,15 +155,22 @@ func (m *Manifest) ComparePairs(newPrefix, basePrefix string, minRatio float64, 
 		}
 	}
 	if found == 0 {
-		return fmt.Errorf("compare %s=%s: no case matches prefix %q", newPrefix, basePrefix, newPrefix)
+		return st, fmt.Errorf("compare %s=%s: no case matches prefix %q", newPrefix, basePrefix, newPrefix)
 	}
-	if enforced == 0 && len(violations) == 0 {
+	if st.Enforced == 0 && len(violations) == 0 {
 		warnf("compare %s=%s: every matching case was skipped (single-CPU run?)", newPrefix, basePrefix)
 	}
 	if len(violations) > 0 {
-		return fmt.Errorf("throughput ratio violations: %s", strings.Join(violations, "; "))
+		return st, fmt.Errorf("throughput ratio violations: %s", strings.Join(violations, "; "))
 	}
-	return nil
+	return st, nil
+}
+
+// CompareStats counts how a ComparePairs gate resolved: Enforced pairings
+// actually checked the ratio, Skipped ones were waived by the GOMAXPROCS
+// guard (the host could not have run the case's worker count in parallel).
+type CompareStats struct {
+	Enforced, Skipped int
 }
 
 // CompareBaseline checks m (a fresh run) against a baseline manifest:

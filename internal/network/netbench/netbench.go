@@ -206,12 +206,12 @@ type Case struct {
 // in the low-load half of a latency sweep.
 const lowLoadChunk = 1024
 
-// saturate drives net to steady-state saturation and returns the driver.
+// Saturate drives net to steady-state saturation and returns the driver.
 // The warmup deepens with network size: a many-chiplet torus overshoots
 // its steady in-flight population during the first few thousand cycles
 // (credit backpressure has not propagated yet) and needs several sweeps
 // for the packet pool and buffer occupancy to settle.
-func saturate(net *network.Network) *Saturator {
+func Saturate(net *network.Network) *Saturator {
 	sat := &Saturator{Net: net, Length: net.Cfg.PacketLength}
 	warm := int64(2000)
 	if n := int64(len(net.Nodes)); n > 256 {
@@ -266,7 +266,7 @@ func Cases() []Case {
 				Name: fmt.Sprintf("saturated/%dnodes", n), Nodes: n, CyclesPerOp: 1,
 				Bench: func(b *testing.B) {
 					net := BuildMesh(side)
-					sat := saturate(net)
+					sat := Saturate(net)
 					b.ReportAllocs()
 					b.ResetTimer()
 					for i := 0; i < b.N; i++ {
@@ -283,7 +283,7 @@ func Cases() []Case {
 					// scans, Route re-evaluated every VA retry, no LUT.
 					net := BuildMesh(side)
 					net.SetReferenceTick(true)
-					sat := saturate(net)
+					sat := Saturate(net)
 					b.ReportAllocs()
 					b.ResetTimer()
 					for i := 0; i < b.N; i++ {
@@ -316,7 +316,7 @@ func Cases() []Case {
 			Name: fmt.Sprintf("saturated/%dnodes", n), Nodes: n, CyclesPerOp: 1,
 			Bench: func(b *testing.B) {
 				net := build()
-				sat := saturate(net)
+				sat := Saturate(net)
 				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
@@ -347,7 +347,7 @@ func satparCase(n, workers int, build func() *network.Network) Case {
 			}
 			net := build()
 			net.SetWorkers(workers)
-			sat := saturate(net)
+			sat := Saturate(net)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

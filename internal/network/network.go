@@ -70,7 +70,6 @@ type Network struct {
 	DeadlockAt int64
 
 	deliverFns []func(Flit)
-	creditFns  []func(VCID, int)
 
 	par        *parallelState
 	seqScratch workerScratch
@@ -150,14 +149,19 @@ func (net *Network) Connect(kind LinkKind, a, b NodeID) *Link {
 
 // SetAdapter attaches a hetero-PHY adapter to a link and reinitializes the
 // source router's credit view for the link's (unchanged) buffer depth.
-func (net *Network) SetAdapter(l *Link, a Adapter) { l.Adapter = a }
+func (net *Network) SetAdapter(l *Link, a Adapter) {
+	l.Adapter = a
+	if l.srcOut != nil {
+		l.srcOut.slow = !l.direct && (l.Adapter != nil || l.retry != nil)
+	}
+}
 
 // Finalize must be called after topology construction and before the first
-// Step: it pre-binds the per-link delivery closures and builds the wake
-// state.
+// Step: it packs the per-router port/VC/ring state into per-network slabs,
+// pre-binds the per-link delivery closures and builds the wake state.
 func (net *Network) Finalize() {
+	net.packSlabs()
 	net.deliverFns = make([]func(Flit), len(net.Links))
-	net.creditFns = make([]func(VCID, int), len(net.Links))
 	for i, l := range net.Links {
 		dst := net.Nodes[l.Dst]
 		port := l.DstPort
@@ -167,21 +171,11 @@ func (net *Network) Finalize() {
 			net.nodeWake[wi] |= bit
 			net.moved++
 		}
-		src := net.Nodes[l.Src]
-		out := src.Out[l.SrcPort]
-		// A credit arrival can turn a failing VC allocation at the source
-		// router into a succeeding one, so it returns allocations parked on
-		// this output to the pending set, and puts a switch-stage slot
-		// starved of credits on exactly this VC back on the ready list.
-		// Credits arrive run-compressed (creditArrivalsRun).
-		net.creditFns[i] = func(vc VCID, n int) {
-			out.Credits[vc] += n
-			src.unparkPort(out)
-			if ws := out.waitSlot[vc]; ws >= 0 {
-				out.waitSlot[vc] = -1
-				src.saReady[ws>>6] |= 1 << (uint(ws) & 63)
-			}
-		}
+		// Bind the credit-completion targets directly: creditArrivals
+		// applies a link's whole per-cycle credit batch to the source
+		// router's counters without a per-run closure call.
+		l.srcRouter = net.Nodes[l.Src]
+		l.srcOut = l.srcRouter.Out[l.SrcPort]
 	}
 	// Arm direct staging on plain Delay-1 links: their flits can be
 	// written into the destination rings at acceptance and published a
@@ -190,7 +184,11 @@ func (net *Network) Finalize() {
 	// the pipeline.
 	for _, l := range net.Links {
 		if len(l.staged) != 0 {
-			continue // re-finalize with flits staged: keep the armed state
+			// Re-finalize with flits staged: keep the armed state, but
+			// re-point dstIn at the port's new slab home (packSlabs moved it;
+			// the ring contents, cursors included, were copied verbatim).
+			l.dstIn = net.Nodes[l.Dst].In[l.DstPort]
+			continue
 		}
 		l.direct = l.Adapter == nil && l.retry == nil && l.Delay == 1 && l.inFlight == 0
 		if l.direct {
@@ -199,8 +197,82 @@ func (net *Network) Finalize() {
 				l.dstIn.VCs[v].Buf.syncStage()
 			}
 		}
+		l.srcOut.slow = !l.direct && (l.Adapter != nil || l.retry != nil)
 	}
 	net.rebuildWake()
+}
+
+// packSlabs re-homes every router's input/output ports, VC states, flit
+// rings and credit arrays into contiguous per-network slabs, in (router,
+// port, VC) order — the structure-of-arrays layout behind the saturated
+// hot path. Topology builders still create ports as individual heap
+// objects; Finalize migrates them here, copying all live state verbatim
+// (ring contents and staging cursors included, so a re-Finalize mid-run is
+// safe). Every pointer into the old homes is rebound afterwards: Finalize
+// re-binds the link closures and dstIn/srcOut, rebuildWork the flat slot
+// tables. The slabs are reachable only through the routers' port slices,
+// so repacking leaks nothing.
+//
+// Ownership under parallel stepping is unchanged by the merged backing
+// arrays: a shard's routers own disjoint index ranges of every slab
+// (shards are contiguous node ranges), and the single-producer staging
+// regions of direct links stay confined to their ring's slice window.
+func (net *Network) packSlabs() {
+	nIn, nOut, nVC, nFlit, nCred := 0, 0, 0, 0, 0
+	for _, r := range net.Nodes {
+		nIn += len(r.In)
+		nOut += len(r.Out)
+		for _, in := range r.In {
+			nVC += len(in.VCs)
+			for v := range in.VCs {
+				nFlit += in.VCs[v].Buf.Cap()
+			}
+		}
+		for _, out := range r.Out {
+			nCred += len(out.Credits)
+		}
+	}
+	inSlab := make([]InPort, nIn)
+	outSlab := make([]OutPort, nOut)
+	vcSlab := make([]VCState, nVC)
+	flitSlab := make([]Flit, nFlit)
+	credSlab := make([]int, nCred)
+	heldSlab := make([]bool, nCred)
+	waitSlab := make([]int32, nCred)
+	iIn, iOut, iVC, iFlit, iCred := 0, 0, 0, 0, 0
+	for _, r := range net.Nodes {
+		for pi, in := range r.In {
+			p := &inSlab[iIn]
+			iIn++
+			*p = *in
+			p.VCs = vcSlab[iVC : iVC+len(in.VCs)]
+			iVC += len(in.VCs)
+			for v := range in.VCs {
+				vc := &p.VCs[v]
+				*vc = in.VCs[v]
+				ring := flitSlab[iFlit : iFlit+vc.Buf.Cap()]
+				iFlit += vc.Buf.Cap()
+				copy(ring, vc.Buf.buf)
+				vc.Buf.buf = ring
+			}
+			r.In[pi] = p
+		}
+		for pi, out := range r.Out {
+			p := &outSlab[iOut]
+			iOut++
+			*p = *out
+			ncr := len(out.Credits)
+			p.Credits = credSlab[iCred : iCred+ncr]
+			copy(p.Credits, out.Credits)
+			p.Held = heldSlab[iCred : iCred+ncr]
+			copy(p.Held, out.Held)
+			// waitSlot and parked are rebuilt by rebuildWork (forgetting
+			// parked state is always safe; see its comment).
+			p.waitSlot = waitSlab[iCred : iCred+ncr]
+			iCred += ncr
+			r.Out[pi] = p
+		}
+	}
 }
 
 // wakeNode marks a router as having buffered flits to process.
@@ -337,7 +409,7 @@ func (net *Network) Step() {
 		keep := net.crWake[:0]
 		for _, li := range net.crWake {
 			l := net.Links[li]
-			l.creditArrivalsRun(net.creditFns[li])
+			l.creditArrivals()
 			if l.creditsInFlight > 0 {
 				keep = append(keep, li)
 			} else {
@@ -416,9 +488,16 @@ func (net *Network) commitDirect(l *Link, moved *uint64, atomicWake bool) {
 	total := 0
 	for _, run := range l.staged {
 		vc := &in.VCs[run.vc]
+		wasEmpty := vc.Buf.Empty()
 		vc.Buf.publish(int(run.n))
+		slot := l.DstPort*r.slotVCs + int(run.vc)
 		if !vc.Active {
-			r.markPend(l.DstPort*r.slotVCs + int(run.vc))
+			if wasEmpty {
+				vc.cacheHead(vc.Buf.frontRef())
+			}
+			r.markPend(slot)
+		} else {
+			r.saReady[slot>>6] |= 1 << (uint(slot) & 63)
 		}
 		total += int(run.n)
 	}
@@ -590,10 +669,19 @@ func (net *Network) injectNode(n int, sc *workerScratch, atomicWake bool) {
 			vc := &in.VCs[s.curVC]
 			if budget > 0 && s.curSeq < int32(s.cur.Length) && vc.Buf.Free() > 0 {
 				net.wakeNodeMode(r.ID, atomicWake)
+				slot := r.InjectPort*r.slotVCs + int(s.curVC)
 				if !vc.Active {
 					// The VC will hold a head flit awaiting RC+VA next
 					// cycle (if it already does, re-marking is a no-op).
-					r.markPend(r.InjectPort*r.slotVCs + int(s.curVC))
+					// When this packet's own head is about to become the
+					// front, denormalize it; an inactive non-empty buffer
+					// already fronts an earlier head, cached on arrival.
+					if s.curSeq == 0 && vc.Buf.Empty() {
+						vc.cacheHeadPkt(s.cur)
+					}
+					r.markPend(slot)
+				} else {
+					r.saReady[slot>>6] |= 1 << (uint(slot) & 63)
 				}
 			}
 			for budget > 0 && s.curSeq < int32(s.cur.Length) && vc.Buf.Free() > 0 {
@@ -814,7 +902,7 @@ func (net *Network) CheckCredits() error {
 					}
 				}
 			}
-			returning := 0
+			returning := int(l.credPend[v])
 			for _, stage := range l.creditPipe {
 				for _, c := range stage {
 					if int(c.vc) == v {

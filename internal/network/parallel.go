@@ -499,7 +499,7 @@ func (net *Network) parPhase1(w int) {
 		keep := lw[:0]
 		for _, li := range lw {
 			l := net.Links[li]
-			l.creditArrivalsRun(net.creditFns[li])
+			l.creditArrivals()
 			if l.creditsInFlight > 0 {
 				keep = append(keep, li)
 			} else {

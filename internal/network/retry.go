@@ -382,6 +382,9 @@ func (l *Link) EnableRetry(hook TxFault, window, timeout int) {
 	}
 	pj := l.PJPerBit * float64(l.bits)
 	l.retry = NewRetryPipe(l.Bandwidth, l.Delay, window, timeout, hook, pj, l.Kind == KindOnChip)
+	if l.srcOut != nil {
+		l.srcOut.slow = true
+	}
 }
 
 // Retry returns the link's retry pipe, or nil when retry is disabled.

@@ -10,6 +10,11 @@ type routeLUT struct {
 	n     int
 	offs  []uint32
 	cands []Candidate
+	// adapt[e] is the adaptive-port mask of entry e: the union of
+	// 1<<Port over its non-escape candidates with Port < 64 — the
+	// prologue the livelock channel-switch restriction in allocate
+	// needs, hoisted out of the per-lookup loop.
+	adapt []uint64
 }
 
 // lutEntry computes the offs index of (r, dst, restricted).
@@ -28,6 +33,18 @@ func (l *routeLUT) lookup(r, dst NodeID, restricted bool) []Candidate {
 	return l.cands[l.offs[e]:l.offs[e+1]]
 }
 
+// lookupFrom is lookup with the router's row offset (Router.lutBase,
+// precomputed in prepare) already folded in, saving the row multiply on
+// the VC-allocation hot path. It also returns the entry's precomputed
+// adaptive-port mask.
+func (l *routeLUT) lookupFrom(base int, dst NodeID, restricted bool) ([]Candidate, uint64) {
+	e := base + int(dst)*2
+	if restricted {
+		e++
+	}
+	return l.cands[l.offs[e]:l.offs[e+1]], l.adapt[e]
+}
+
 // buildRouteLUT evaluates the routing function once for every (router,
 // destination, restricted) triple. Route is invoked with a scratch packet
 // carrying only the fields a RoutePure algorithm may read (Dst,
@@ -37,6 +54,7 @@ func buildRouteLUT(net *Network) *routeLUT {
 	n := len(net.Nodes)
 	lut := &routeLUT{n: n}
 	lut.offs = make([]uint32, 1, 2*n*n+1)
+	lut.adapt = make([]uint64, 0, 2*n*n)
 	var scratch []Candidate
 	var pkt Packet
 	for _, r := range net.Nodes {
@@ -46,12 +64,27 @@ func buildRouteLUT(net *Network) *routeLUT {
 					pkt = Packet{Dst: NodeID(dst), Restricted: restricted == 1, Target: -1}
 					scratch = net.Routing.Route(net, r, r.InjectPort, &pkt, scratch[:0])
 					lut.cands = append(lut.cands, scratch...)
+					lut.adapt = append(lut.adapt, adaptiveMask(scratch))
+				} else {
+					lut.adapt = append(lut.adapt, 0)
 				}
 				lut.offs = append(lut.offs, uint32(len(lut.cands)))
 			}
 		}
 	}
 	return lut
+}
+
+// adaptiveMask folds a candidate set's non-escape ports below 64 into the
+// bitmask the livelock channel-switch restriction checks.
+func adaptiveMask(cands []Candidate) uint64 {
+	m := uint64(0)
+	for i := range cands {
+		if c := &cands[i]; !c.Escape && c.Port < 64 {
+			m |= 1 << uint(c.Port)
+		}
+	}
+	return m
 }
 
 // prepare derives the route-acceleration state on the first Step, once the
@@ -73,6 +106,9 @@ func (net *Network) prepare() {
 		}
 		if limit > 0 && len(net.Nodes) <= limit {
 			net.lut = buildRouteLUT(net)
+			for i, r := range net.Nodes {
+				r.lutBase = i * len(net.Nodes) * 2
+			}
 		}
 	}
 }

@@ -72,8 +72,11 @@ type Stable interface {
 }
 
 // VCState is one virtual-channel input buffer and its allocation state.
+// The queue is embedded by value and every router's VCStates live in one
+// per-network slab (Network.packSlabs), so the switch stage reads occupancy
+// and head state from the slot itself instead of chasing a *FlitQueue.
 type VCState struct {
-	Buf *FlitQueue
+	Buf FlitQueue
 
 	// Active is true while the packet at the front of Buf holds an output
 	// VC; OutPort/OutVC identify it. The allocation is released when the
@@ -85,11 +88,24 @@ type VCState struct {
 	// headSeq/headLen cache the front flit's sequence number and its
 	// packet's length while the VC holds an output allocation, so switch
 	// allocation computes the transferable run without touching the ring
-	// data or the Packet. Set by grantVC (the front is a head then),
-	// advanced by every drain; flits arrive in order, so the cache always
-	// matches the front flit of an active VC.
+	// data or the Packet. Set by cacheHead when a head flit becomes the
+	// front of an inactive VC, advanced by every drain; flits arrive in
+	// order, so the cache always matches the front flit of an active VC.
 	headSeq int32
 	headLen int32
+
+	// headDst/headPktID/headClass/headRestricted denormalize the front
+	// head flit's routing-relevant packet fields into the slot (cacheHead,
+	// same sites as headSeq/headLen), so RC+VA run without dereferencing
+	// the ring or the Packet. Dst, ID, Class and Length are immutable for
+	// a packet's lifetime; Restricted is mutable, and every engine write
+	// while the head waits goes through allocate, which updates both
+	// copies (the canonical Packet stays the source of truth for routing
+	// functions and diagnostics).
+	headDst        NodeID
+	headPktID      uint64
+	headClass      Class
+	headRestricted bool
 
 	// RC-memoization state (RouteRetryStable and better; see allocate).
 	// cands caches the candidate set computed for the packet candsPkt with
@@ -148,6 +164,12 @@ type OutPort struct {
 	// the optimized and reference ticks stay interchangeable.
 	parked   []uint64
 	waitSlot []int32
+
+	// slow marks outputs whose link needs the per-flit switch path
+	// (adapter or retry protocol work in Accept). Derived in Finalize and
+	// kept current by EnableRetry/SetAdapter, so saSlotFast reads one
+	// hot-line flag instead of chasing the Link struct tail.
+	slow bool
 }
 
 // setHeld and clearHeld keep Held and heldMask in lockstep.
@@ -251,6 +273,18 @@ type Router struct {
 	outDyn       []int32
 	outAvailBase int
 	ejBW         int
+
+	// lutBase is this router's row offset into the route LUT's offs table
+	// (prepare sets it when a LUT is built), so the hot lookup skips the
+	// row multiply.
+	lutBase int
+
+	// slotOut[slot] is the output port the slot's VC allocation granted
+	// (valid while the slot is in saActive; grantVC writes it). The whole
+	// array spans a cache line or two at typical radix, so the switch-
+	// stage scan rejects slots whose output is spent this cycle without
+	// touching their VCState lines.
+	slotOut []int16
 }
 
 // flatSlot is one flattened arbitration slot.
@@ -269,7 +303,7 @@ func newRouter(cfg *Config, id NodeID) *Router {
 	inj := &InPort{Kind: KindLocal, DrainBudget: cfg.InjectionBandwidth}
 	inj.VCs = make([]VCState, cfg.VCs)
 	for i := range inj.VCs {
-		inj.VCs[i].Buf = NewFlitQueue(cfg.BufPerVC(KindLocal))
+		inj.VCs[i].Buf = FlitQueue{buf: make([]Flit, cfg.BufPerVC(KindLocal))}
 	}
 	r.In = append(r.In, inj)
 	// Ejection output port: no link, no credits needed beyond rate limit.
@@ -290,7 +324,7 @@ func (r *Router) AddInPort(cfg *Config, l *Link) int {
 	p.VCs = make([]VCState, cfg.VCs)
 	depth := cfg.BufPerVC(l.Kind)
 	for i := range p.VCs {
-		p.VCs[i].Buf = NewFlitQueue(depth)
+		p.VCs[i].Buf = FlitQueue{buf: make([]Flit, depth)}
 	}
 	r.In = append(r.In, p)
 	return len(r.In) - 1
@@ -329,10 +363,14 @@ func (r *Router) rebuildWork() {
 	}
 	words := (len(r.flat) + 63) >> 6
 	if len(r.allocPend) != words {
-		r.allocPend = make([]uint64, words)
-		r.saActive = make([]uint64, words)
-		r.vaParked = make([]uint64, words)
-		r.saReady = make([]uint64, words)
+		// One backing array: the four work bitmaps of a typical-radix
+		// router (one word each) share a cache line, so a slot's full
+		// VA/SA decision state loads together.
+		bm := make([]uint64, 4*words)
+		r.allocPend = bm[:words:words]
+		r.saActive = bm[words : 2*words : 2*words]
+		r.vaParked = bm[2*words : 3*words : 3*words]
+		r.saReady = bm[3*words : 4*words : 4*words]
 	}
 	for i := range r.allocPend {
 		r.allocPend[i] = 0
@@ -340,12 +378,19 @@ func (r *Router) rebuildWork() {
 		r.vaParked[i] = 0
 	}
 	r.vaParkedCount = 0
+	if cap(r.slotOut) < len(r.flat) {
+		r.slotOut = make([]int16, len(r.flat))
+	}
+	r.slotOut = r.slotOut[:len(r.flat)]
 	for slot := range r.flat {
 		vc := r.flat[slot].vc
+		r.slotOut[slot] = 0
 		switch {
 		case vc.Active:
+			r.slotOut[slot] = int16(vc.OutPort)
 			r.saActive[slot>>6] |= 1 << (uint(slot) & 63)
 		case !vc.Buf.Empty():
+			vc.cacheHead(vc.Buf.frontRef())
 			r.allocPend[slot>>6] |= 1 << (uint(slot) & 63)
 		}
 	}
@@ -406,6 +451,32 @@ func (r *Router) markPend(slot int) {
 	r.allocPend[slot>>6] |= 1 << (uint(slot) & 63)
 }
 
+// cacheHead denormalizes the packet fields of f — the head flit that just
+// became the front of an inactive VC — into the slot state (see the
+// VCState field docs). Every site where a head reaches the front calls it:
+// delivery into an empty inactive buffer (deliver/deliverRun), direct-link
+// publication (commitDirect), injection (via cacheHeadPkt), tail release
+// with a successor queued (saSlot/saSlotFast) and rebuildWork. The
+// non-head panic retained from the dense scans fires here, where the flit
+// is already in hand.
+func (vc *VCState) cacheHead(f *Flit) {
+	if f.Seq != 0 {
+		panic(fmt.Sprintf("network: non-head flit (pkt %d seq %d) at front of idle VC", f.Pkt.ID, f.Seq))
+	}
+	vc.cacheHeadPkt(f.Pkt)
+}
+
+// cacheHeadPkt is cacheHead for sites that construct the head flit
+// themselves (injection: sequence 0 by construction).
+func (vc *VCState) cacheHeadPkt(pkt *Packet) {
+	vc.headSeq = 0
+	vc.headLen = int32(pkt.Length)
+	vc.headDst = pkt.Dst
+	vc.headPktID = pkt.ID
+	vc.headClass = pkt.Class
+	vc.headRestricted = pkt.Restricted
+}
+
 // parkVA moves a slot whose VC allocation just failed from allocPend to
 // vaParked, watching every output port in cands (the failure can only be
 // undone by a credit arrival or VC release on one of them). Idempotent: a
@@ -445,12 +516,21 @@ func (r *Router) unparkPort(out *OutPort) {
 // deliver buffers a flit arriving from the input link at port/VC.
 func (r *Router) deliver(inPort int, f Flit) {
 	vc := &r.In[inPort].VCs[f.VC]
+	wasEmpty := vc.Buf.Empty()
 	if !vc.Buf.Push(f) {
 		panic(fmt.Sprintf("network: input buffer overflow at node %d port %d vc %d (credit protocol violated)", r.ID, inPort, f.VC))
 	}
 	r.buffered++
+	slot := inPort*r.slotVCs + int(f.VC)
 	if !vc.Active {
-		r.markPend(inPort*r.slotVCs + int(f.VC))
+		if wasEmpty {
+			vc.cacheHead(&f)
+		}
+		r.markPend(slot)
+	} else {
+		// Refill of an active VC: return it to the switch-stage ready
+		// list (saSlotFast drops drained slots; see its empty check).
+		r.saReady[slot>>6] |= 1 << (uint(slot) & 63)
 	}
 }
 
@@ -468,11 +548,18 @@ func (r *Router) deliverRun(inPort int, arr []Flit) {
 			j++
 		}
 		vc := &in.VCs[v]
+		wasEmpty := vc.Buf.Empty()
 		if !vc.Buf.PushRun(arr[i:j]) {
 			panic(fmt.Sprintf("network: input buffer overflow at node %d port %d vc %d (credit protocol violated)", r.ID, inPort, v))
 		}
+		slot := inPort*r.slotVCs + int(v)
 		if !vc.Active {
-			r.markPend(inPort*r.slotVCs + int(v))
+			if wasEmpty {
+				vc.cacheHead(&arr[i])
+			}
+			r.markPend(slot)
+		} else {
+			r.saReady[slot>>6] |= 1 << (uint(slot) & 63)
 		}
 		i = j
 	}
@@ -530,12 +617,9 @@ func (r *Router) vaStage(ctx *tickContext) {
 			w &^= 1 << uint(b)
 			slot := wi<<6 + b
 			s := &r.flat[slot]
-			vc := s.vc
-			pkt := vc.Buf.FrontPkt()
-			if seq := vc.Buf.FrontSeq(); seq != 0 {
-				panic(fmt.Sprintf("network: node %d port %d vc %d: non-head flit (pkt %d seq %d) at front of idle VC", r.ID, s.ip, s.v, pkt.ID, seq))
-			}
-			r.allocate(ctx, slot, int(s.ip), vc, pkt)
+			// The non-head panic of the dense scan moved to cacheHead: the
+			// slot state read here was denormalized from a checked head.
+			r.allocate(ctx, slot, int(s.ip), s.vc)
 		}
 	}
 }
@@ -564,11 +648,12 @@ func (r *Router) tickReference(ctx *tickContext) {
 	r.switchAlloc(ctx)
 }
 
-// grantVC commits a successful VC allocation for the slot. The front flit
-// is pkt's head, so the head cache starts at sequence 0.
-func (r *Router) grantVC(slot int, vc *VCState, pkt *Packet, port int, outVC VCID) {
+// grantVC commits a successful VC allocation for the slot. The head cache
+// (headSeq 0, headLen) was populated by cacheHead when the head reached
+// the front, so the switch stage starts from it unchanged.
+func (r *Router) grantVC(slot int, vc *VCState, port int, outVC VCID) {
 	vc.Active, vc.OutPort, vc.OutVC = true, port, outVC
-	vc.headSeq, vc.headLen = 0, int32(pkt.Length)
+	r.slotOut[slot] = int16(port)
 	r.activeVCs++
 	r.allocPend[slot>>6] &^= 1 << (uint(slot) & 63)
 	r.saActive[slot>>6] |= 1 << (uint(slot) & 63)
@@ -580,11 +665,11 @@ func (r *Router) grantVC(slot int, vc *VCState, pkt *Packet, port int, outVC VCI
 // candidates, the slot parks on the candidate ports instead of rescanning
 // every cycle — except under a tracer, whose per-cycle EvVAFail events
 // need the revisits.
-func (r *Router) vaFail(ctx *tickContext, slot int, vc *VCState, pkt *Packet, cands []Candidate) {
-	vc.candsPkt, vc.candsRestricted = pkt.ID, pkt.Restricted
+func (r *Router) vaFail(ctx *tickContext, slot int, vc *VCState, pktID uint64, restricted bool, cands []Candidate) {
+	vc.candsPkt, vc.candsRestricted = pktID, restricted
 	ctx.scratch.vaFailures++
 	if ctx.tracer != nil {
-		ctx.tracer.Trace(Event{Cycle: ctx.net.Now, Kind: EvVAFail, Pkt: pkt.ID, Node: r.ID})
+		ctx.tracer.Trace(Event{Cycle: ctx.net.Now, Kind: EvVAFail, Pkt: pktID, Node: r.ID})
 		return
 	}
 	if ctx.net.stability >= RouteRetryStable {
@@ -602,14 +687,17 @@ func (r *Router) vaFail(ctx *tickContext, slot int, vc *VCState, pkt *Packet, ca
 //   - RouteRetryStable algorithms reuse the candidate set cached on the
 //     VC while the same packet waits with an unchanged Restricted flag;
 //   - RouteDynamic algorithms re-invoke Route every cycle.
-func (r *Router) allocate(ctx *tickContext, slot, inPort int, vc *VCState, pkt *Packet) {
+func (r *Router) allocate(ctx *tickContext, slot, inPort int, vc *VCState) {
 	net := ctx.net
-	if net.LivelockHopBound > 0 && !pkt.Restricted && pkt.Hops() > net.LivelockHopBound {
-		pkt.Restricted = true
+	if net.LivelockHopBound > 0 && !vc.headRestricted {
+		if pkt := vc.Buf.FrontPkt(); pkt.Hops() > net.LivelockHopBound {
+			pkt.Restricted = true
+			vc.headRestricted = true
+		}
 	}
-	if pkt.Dst == r.ID {
+	if vc.headDst == r.ID {
 		// Ejection: always allocatable; rate-limited in SA.
-		r.grantVC(slot, vc, pkt, r.EjectPort, 0)
+		r.grantVC(slot, vc, r.EjectPort, 0)
 		return
 	}
 	if wi, bit := slot>>6, uint64(1)<<(uint(slot)&63); r.vaParked[wi]&bit != 0 {
@@ -620,7 +708,7 @@ func (r *Router) allocate(ctx *tickContext, slot, inPort int, vc *VCState, pkt *
 		// check guards the (contract-violating, e.g. a LivelockHopBound
 		// change mid-run) case where the packet state moved under a parked
 		// slot: unpark and rescan.
-		if vc.candsPkt == pkt.ID && vc.candsRestricted == pkt.Restricted {
+		if vc.candsPkt == vc.headPktID && vc.candsRestricted == vc.headRestricted {
 			r.allocPend[wi] &^= bit
 			return
 		}
@@ -628,36 +716,37 @@ func (r *Router) allocate(ctx *tickContext, slot, inPort int, vc *VCState, pkt *
 		r.vaParkedCount--
 	}
 	var cands []Candidate
+	var adaptivePorts uint64
 	switch {
 	case net.lut != nil:
-		cands = net.lut.lookup(r.ID, pkt.Dst, pkt.Restricted)
-	case net.stability >= RouteRetryStable && vc.candsPkt == pkt.ID && vc.candsRestricted == pkt.Restricted:
+		cands, adaptivePorts = net.lut.lookupFrom(r.lutBase, vc.headDst, vc.headRestricted)
+	case net.stability >= RouteRetryStable && vc.candsPkt == vc.headPktID && vc.candsRestricted == vc.headRestricted:
 		cands = vc.cands
+		adaptivePorts = adaptiveMask(cands)
 	default:
+		pkt := vc.Buf.FrontPkt()
 		cands = net.Routing.Route(net, r, inPort, pkt, r.cands[:0])
 		r.cands = cands[:0] // keep capacity
+		// A RouteRetryStable function may set Restricted (part of its
+		// reuse key); re-sync the denormalized copy.
+		vc.headRestricted = pkt.Restricted
 		if net.stability >= RouteRetryStable {
 			vc.cands = append(vc.cands[:0], cands...)
 			vc.candsPkt, vc.candsRestricted = pkt.ID, pkt.Restricted
 			cands = vc.cands
 		}
+		adaptivePorts = adaptiveMask(cands)
 	}
 	if len(cands) == 0 {
-		panic(fmt.Sprintf("network: routing %q returned no candidates at node %d for packet %d -> %d", net.Routing.Name(), r.ID, pkt.ID, pkt.Dst))
+		panic(fmt.Sprintf("network: routing %q returned no candidates at node %d for packet %d -> %d", net.Routing.Name(), r.ID, vc.headPktID, vc.headDst))
 	}
 
 	sawAdaptive := false
-	adaptivePorts := uint64(0)
-	for i := range cands {
-		if c := &cands[i]; !c.Escape && c.Port < 64 {
-			adaptivePorts |= 1 << uint(c.Port)
-		}
-	}
 	for i := range cands {
 		c := &cands[i]
 		out := r.Out[c.Port]
 		if out.Link == nil {
-			r.grantVC(slot, vc, pkt, c.Port, 0)
+			r.grantVC(slot, vc, c.Port, 0)
 			return
 		}
 		if !c.Escape {
@@ -670,13 +759,13 @@ func (r *Router) allocate(ctx *tickContext, slot, inPort int, vc *VCState, pkt *
 		// reference scan: latency-sensitive packets take the highest
 		// eligible VC, bulk throughput the lowest, other classes the
 		// lowest among those with the most credits.
-		need := min(pkt.Length, out.Depth)
+		need := min(int(vc.headLen), out.Depth)
 		if net.Cfg.WormholeAdmission {
 			need = 1
 		}
 		elig := c.VCMask & out.vcLimit &^ out.heldMask
 		best, bestCred := -1, need-1
-		switch pkt.Class {
+		switch vc.headClass {
 		case ClassThroughput:
 			for m := elig; m != 0; m &= m - 1 {
 				ov := bits.TrailingZeros16(m)
@@ -707,15 +796,16 @@ func (r *Router) allocate(ctx *tickContext, slot, inPort int, vc *VCState, pkt *
 		}
 		if c.Escape && sawAdaptive && (c.Port >= 64 || adaptivePorts&(1<<uint(c.Port)) == 0) {
 			// Livelock channel-switch restriction (Sec. 6.2): see
-			// allocateReference.
-			pkt.Restricted = true
+			// allocateReference. Written through to the canonical Packet.
+			vc.Buf.FrontPkt().Restricted = true
+			vc.headRestricted = true
 		}
 		out.setHeld(best)
-		r.grantVC(slot, vc, pkt, c.Port, VCID(best))
+		r.grantVC(slot, vc, c.Port, VCID(best))
 		return
 	}
 	// Nothing allocatable this cycle; retry next cycle.
-	r.vaFail(ctx, slot, vc, pkt, cands)
+	r.vaFail(ctx, slot, vc, vc.headPktID, vc.headRestricted, cands)
 }
 
 // allocateReference is the retained naive RC+VA: Route re-evaluated every
@@ -748,7 +838,7 @@ func (r *Router) allocateReference(ctx *tickContext, slot, inPort int, vc *VCSta
 		out := r.Out[c.Port]
 		if out.Link == nil {
 			// Ejection: always allocatable; rate-limited in SA.
-			r.grantVC(slot, vc, pkt, c.Port, 0)
+			r.grantVC(slot, vc, c.Port, 0)
 			return
 		}
 		if !c.Escape {
@@ -809,11 +899,11 @@ func (r *Router) allocateReference(ctx *tickContext, slot, inPort int, vc *VCSta
 			pkt.Restricted = true
 		}
 		out.setHeld(best)
-		r.grantVC(slot, vc, pkt, c.Port, VCID(best))
+		r.grantVC(slot, vc, c.Port, VCID(best))
 		return
 	}
 	// Nothing allocatable this cycle; retry next cycle.
-	r.vaFail(ctx, slot, vc, pkt, cands)
+	r.vaFail(ctx, slot, vc, pkt.ID, pkt.Restricted, cands)
 }
 
 // switchAlloc grants crossbar passage to active input VCs, respecting link
@@ -827,13 +917,15 @@ func (r *Router) switchAlloc(ctx *tickContext) {
 		return
 	}
 	nOut, nIn := len(r.Out), len(r.In)
-	if cap(r.outSlots) < nOut {
-		r.outSlots = make([]int, nOut)
-		r.outVCs = make([]int, nOut)
-	}
-	if cap(r.inUsed) < nIn {
-		r.inUsed = make([]int, nIn)
-		r.inVCs = make([]int, nIn)
+	if cap(r.outSlots) < nOut || cap(r.inUsed) < nIn {
+		// One backing array: the four per-cycle budget counters of a
+		// typical-radix router fit in two cache lines instead of four
+		// scattered allocations.
+		sa := make([]int, 2*nOut+2*nIn)
+		r.outSlots = sa[:nOut:nOut]
+		r.outVCs = sa[nOut : 2*nOut : 2*nOut]
+		r.inUsed = sa[2*nOut : 2*nOut+nIn : 2*nOut+nIn]
+		r.inVCs = sa[2*nOut+nIn:]
 	}
 	outSlots, outVCs := r.outSlots[:nOut], r.outVCs[:nOut]
 	inUsed, inVCs := r.inUsed[:nIn], r.inVCs[:nIn]
@@ -927,9 +1019,28 @@ func (r *Router) switchAlloc(ctx *tickContext) {
 // additions keep the reference path's exact field-by-field order (float
 // addition order is part of bit-identity).
 func (r *Router) saSlotFast(ctx *tickContext, slot int, outSlots, outVCs, inUsed, inVCs []int) {
+	// The granted output port is denormalized into the compact slotOut
+	// slab, so a slot whose output is already spent this cycle is
+	// rejected before its VCState cache line is ever touched. The
+	// reorder is behavior-neutral: every rejecting check is side-effect
+	// free, and the empty-slot saReady clearing below is an idempotent
+	// optimization the refill sites never depend on.
+	op := int(r.slotOut[slot])
+	if outSlots[op] <= 0 {
+		return
+	}
+	out := r.Out[op]
+	if !out.Interface && outVCs[op] >= 1 {
+		return
+	}
 	s := &r.flat[slot]
 	vc := s.vc
 	if !vc.Active || vc.Buf.Empty() {
+		// An active slot drained empty mid-packet cannot progress until
+		// its next flit arrives; the refill sites (deliver, deliverRun,
+		// commitDirect, injection) put it back. Clearing here also
+		// self-heals the saActive seed rebuildWork copies into saReady.
+		r.saReady[slot>>6] &^= 1 << (uint(slot) & 63)
 		return
 	}
 	in := s.in
@@ -940,19 +1051,9 @@ func (r *Router) saSlotFast(ctx *tickContext, slot int, outSlots, outVCs, inUsed
 	if !in.Interface && inVCs[ip] >= 1 {
 		return
 	}
-	op := vc.OutPort
-	out := r.Out[op]
-	if outSlots[op] <= 0 {
-		return
-	}
-	if !out.Interface && outVCs[op] >= 1 {
-		return
-	}
-	if out.Link != nil && !out.Link.direct && (out.Link.Adapter != nil || out.Link.retry != nil) {
+	if out.slow {
 		// Adapter and retry links do per-flit protocol work in Accept;
-		// keep the per-flit path for them. The direct short-circuit reads
-		// one hot-line flag where the retry check would touch the struct
-		// tail.
+		// keep the per-flit path for them.
 		r.saSlot(ctx, slot, outSlots, outVCs, inUsed, inVCs)
 		return
 	}
@@ -1045,6 +1146,7 @@ func (r *Router) saSlotFast(ctx *tickContext, slot int, outSlots, outVCs, inUsed
 		r.saActive[slot>>6] &^= 1 << (uint(slot) & 63)
 		r.saReady[slot>>6] &^= 1 << (uint(slot) & 63)
 		if !vc.Buf.Empty() {
+			vc.cacheHead(vc.Buf.frontRef())
 			r.markPend(slot)
 		}
 	}
@@ -1114,6 +1216,7 @@ func (r *Router) saSlot(ctx *tickContext, slot int, outSlots, outVCs, inUsed, in
 			if !vc.Buf.Empty() {
 				// The next packet's head is already waiting behind the
 				// tail: queue it for RC+VA next cycle.
+				vc.cacheHead(vc.Buf.frontRef())
 				r.markPend(slot)
 			}
 			break
