@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench benchkernel bench-kernel bench-smoke prof experiments experiments-full examples vet fmt-check smoke fault ci clean
+.PHONY: all build test race bench benchkernel bench-kernel bench-smoke prof experiments experiments-full examples vet fmt-check smoke fault collective ci clean
 
 all: build test
 
@@ -40,8 +40,17 @@ fault:
 	test -f results-ci/BENCH_fault.json
 	$(GO) run ./cmd/checkmanifest results-ci/BENCH_fault.json
 
+# Closed-loop collective gate: reduced policy × topology × collective
+# sweep (completion-time metrics) plus the serial-outage scenario where
+# the collective must complete across the tripped serial PHY, then
+# validate the JSON result manifest.
+collective:
+	$(GO) run ./cmd/hetsim -exp collective -tiny -jobs 2 -json results-ci
+	test -f results-ci/BENCH_collective.json
+	$(GO) run ./cmd/checkmanifest results-ci/BENCH_collective.json
+
 # Everything .github/workflows/ci.yml runs, locally.
-ci: build vet fmt-check test race bench-smoke smoke fault
+ci: build vet fmt-check test race bench-smoke smoke fault collective
 
 bench: bench-kernel
 	$(GO) test -bench=. -benchmem ./...

@@ -148,8 +148,8 @@ func TestPublicCustomDriver(t *testing.T) {
 }
 
 func TestPublicExperimentRegistry(t *testing.T) {
-	if len(Experiments()) != 17 {
-		t.Fatalf("experiment registry has %d entries, want 17", len(Experiments()))
+	if len(Experiments()) != 18 {
+		t.Fatalf("experiment registry has %d entries, want 18", len(Experiments()))
 	}
 	var buf bytes.Buffer
 	if err := RunExperiment("table1", false, &buf); err != nil {

@@ -104,7 +104,7 @@ func main() {
 	if *list || *exp == "" {
 		fmt.Println("available experiments:")
 		for _, e := range experiments.Registry {
-			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+			fmt.Printf("  %-12s %s\n", e.ID, e.Title)
 		}
 		if *exp == "" && !*list {
 			os.Exit(2)
@@ -150,7 +150,14 @@ func main() {
 	}
 	e, err := experiments.ByID(*exp)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "hetsim:", err)
+		// Mirror `benchkernel -list`: an unknown ID gets the full menu, not
+		// just an error string.
+		fmt.Fprintf(os.Stderr, "hetsim: unknown experiment %q — valid experiments:\n", *exp)
+		for _, e := range experiments.Registry {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", e.ID, e.Title)
+		}
+		fmt.Fprintln(os.Stderr, "  all          run every experiment above")
+		fmt.Fprintln(os.Stderr, "(or use -list)")
 		os.Exit(2)
 	}
 	run(e)

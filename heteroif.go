@@ -31,6 +31,7 @@ package heteroif
 import (
 	"io"
 
+	"heteroif/internal/collective"
 	"heteroif/internal/core"
 	"heteroif/internal/experiments"
 	"heteroif/internal/network"
@@ -210,6 +211,59 @@ func RunWithDriver(sys *System, cycles int64, drive func(now int64)) error {
 // in-flight packet is delivered (bounded by Config.DrainCycles). It
 // reports whether the network fully drained.
 func Drain(sys *System) (bool, error) { return sys.Net.Drain() }
+
+// Closed-loop collective workloads (internal/collective): dependency-driven
+// programs where each step's injections are gated on the previous step's
+// deliveries, reporting workload-level completion time.
+type (
+	// CollectiveProgram is a DAG of point-to-point messages.
+	CollectiveProgram = collective.Program
+	// CollectiveEngine executes a CollectiveProgram against a system.
+	CollectiveEngine = collective.Engine
+	// CollectiveReport is a completed program's per-step and end-to-end
+	// completion breakdown.
+	CollectiveReport = collective.Report
+	// DNNLayer is one layer of the DNN training traffic model.
+	DNNLayer = collective.Layer
+)
+
+// RingAllReduce builds the 2-phase ring all-reduce (reduce-scatter +
+// all-gather) over the participants in ring order; dataFlits is the
+// per-participant payload, compute the per-chunk reduction delay.
+func RingAllReduce(parts []NodeID, dataFlits int, compute int64) *CollectiveProgram {
+	return collective.RingAllReduce(parts, dataFlits, compute)
+}
+
+// ReduceScatter, AllGather and AllToAll build the remaining collective
+// primitives (see internal/collective for the shapes).
+func ReduceScatter(parts []NodeID, dataFlits int, compute int64) *CollectiveProgram {
+	return collective.ReduceScatter(parts, dataFlits, compute)
+}
+func AllGather(parts []NodeID, dataFlits int) *CollectiveProgram {
+	return collective.AllGather(parts, dataFlits)
+}
+func AllToAll(parts []NodeID, flitsPerPair, window int) *CollectiveProgram {
+	return collective.AllToAll(parts, flitsPerPair, window)
+}
+
+// DNNTraining builds the layer-by-layer data-parallel training model:
+// per-layer compute, a gradient ring all-reduce, and a full barrier
+// between layers.
+func DNNTraining(parts []NodeID, layers []DNNLayer, reduceCompute int64) *CollectiveProgram {
+	return collective.DNNTraining(parts, layers, reduceCompute)
+}
+
+// NewCollective attaches a collective engine to a built system. Run it
+// with CollectiveEngine.Run (or drive it manually through the system's
+// RunWith hooks). One engine per system at a time.
+func NewCollective(sys *System, prog *CollectiveProgram) (*CollectiveEngine, error) {
+	return collective.NewEngine(sys.Net, prog)
+}
+
+// ChipletLeaders returns one representative node per chiplet in
+// serpentine (ring-friendly) order — the natural participant set for a
+// collective over a chiplet system.
+func ChipletLeaders(sys *System) []NodeID { return sys.Topo.ChipletLeaders() }
 
 // Experiments exposes the per-figure/table reproduction registry used by
 // cmd/hetsim and the root benchmarks.

@@ -1,0 +1,69 @@
+package collective
+
+import (
+	"fmt"
+
+	"heteroif/internal/network"
+)
+
+// Layer is one layer of the DNN training traffic model: a compute phase
+// (forward+backward pass, modeled as a single delay) followed by a
+// gradient all-reduce over the participants.
+type Layer struct {
+	Name string
+	// Compute is the layer's local compute delay in cycles, applied before
+	// the layer's gradient exchange can start.
+	Compute int64
+	// GradFlits is the per-participant gradient payload all-reduced after
+	// the compute phase.
+	GradFlits int
+}
+
+// DNNTraining builds the layer-by-layer data-parallel training model in
+// the CHIPSIM spirit: for each layer, every participant computes for
+// Layer.Compute cycles, then joins a ring all-reduce of the layer's
+// gradients; a full barrier separates layers (layer l+1's compute starts
+// only after every participant has received every chunk of layer l's
+// all-reduce). The compute phases are provably idle network stretches —
+// exactly the shape that exercises quiescence fast-forward.
+// reduceCompute is the per-chunk reduction delay inside each all-reduce.
+func DNNTraining(parts []network.NodeID, layers []Layer, reduceCompute int64) *Program {
+	checkParts("dnn-training", parts)
+	if len(layers) == 0 {
+		panic("collective: dnn-training needs at least one layer")
+	}
+	prog := &Program{Name: "dnn-training", Participants: len(parts), Class: network.ClassThroughput}
+	// barrier holds the final-step message indices of the previous layer's
+	// all-reduce; nil for the first layer.
+	var barrier []int32
+	step := int32(0)
+	for li, l := range layers {
+		if l.Compute < 0 {
+			panic(fmt.Sprintf("collective: layer %d (%s) has negative compute", li, l.Name))
+		}
+		sub := RingAllReduce(parts, l.GradFlits, reduceCompute)
+		base := int32(len(prog.Msgs))
+		lastStep := int32(sub.Steps - 1)
+		var finals []int32
+		for i, m := range sub.Msgs {
+			deps := make([]int32, 0, len(sub.Deps[i])+len(barrier))
+			for _, d := range sub.Deps[i] {
+				deps = append(deps, base+d)
+			}
+			compute := m.Compute
+			if len(sub.Deps[i]) == 0 {
+				// Root messages of this layer's all-reduce: gate on the
+				// previous layer's barrier and absorb the layer compute.
+				deps = append(deps, barrier...)
+				compute += l.Compute
+			}
+			idx := prog.add(m.Src, m.Dst, m.Flits, step+m.Step, compute, deps...)
+			if m.Step == lastStep {
+				finals = append(finals, idx)
+			}
+		}
+		barrier = finals
+		step += int32(sub.Steps)
+	}
+	return prog
+}

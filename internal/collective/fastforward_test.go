@@ -1,0 +1,101 @@
+package collective_test
+
+import (
+	"hash/fnv"
+	"reflect"
+	"testing"
+
+	"heteroif/internal/collective"
+	"heteroif/internal/network"
+	"heteroif/internal/network/netbench"
+)
+
+// ffRun executes a DNN program whose compute phases are long, provably
+// idle network stretches, and returns the report, an arrival digest, the
+// number of Drive callbacks, and the wall cycles consumed. fastForward
+// selects whether RunWith gets the engine's NextInjection (skips enabled)
+// or nil (every cycle stepped).
+func ffRun(t *testing.T, fastForward bool) (collective.Report, uint64, int64, int64) {
+	t.Helper()
+	net := netbench.BuildMesh(8)
+	// Digest every delivery (packet identity + timing) before the engine
+	// observes it; OnDeliver runs after Sink so both see retired packets.
+	h := fnv.New64a()
+	var buf [8]byte
+	word := func(v uint64) {
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	net.Sink = func(p *network.Packet) {
+		word(p.ID)
+		word(uint64(p.Src)<<32 | uint64(p.Dst))
+		word(uint64(p.CreatedAt))
+		word(uint64(p.InjectedAt))
+		word(uint64(p.ArrivedAt))
+	}
+
+	ps := []network.NodeID{0, 7, 56, 63, 27, 36}
+	layers := []collective.Layer{
+		{Name: "l0", Compute: 4000, GradFlits: 96},
+		{Name: "l1", Compute: 9000, GradFlits: 192},
+		{Name: "l2", Compute: 2500, GradFlits: 48},
+	}
+	prog := collective.DNNTraining(ps, layers, 50)
+	e, err := collective.NewEngine(net, prog)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+
+	var driveCalls int64
+	drive := func(now int64) {
+		driveCalls++
+		e.Drive(now)
+	}
+	next := e.NextInjection
+	if !fastForward {
+		next = nil
+	}
+	const budget = 1 << 21
+	start := net.Now
+	for !e.Done() && net.Now-start < budget {
+		if err := net.RunWith(4096, drive, next); err != nil {
+			t.Fatalf("RunWith: %v", err)
+		}
+	}
+	if !e.Done() {
+		t.Fatalf("program incomplete after %d cycles (fastForward=%v)", budget, fastForward)
+	}
+	return e.Report(), h.Sum64(), driveCalls, net.Now - start
+}
+
+// TestFastForwardClosedLoop is the ISSUE satellite: a closed-loop driver
+// whose NextInjection returns far-future cycles (DNN compute phases) must
+// let quiescence fast-forward engage — far fewer Drive callbacks than
+// stepped cycles — while results stay bit-identical with it disabled.
+func TestFastForwardClosedLoop(t *testing.T) {
+	ffRep, ffDigest, ffDrives, ffCycles := ffRun(t, true)
+	refRep, refDigest, refDrives, refCycles := ffRun(t, false)
+
+	if ffDigest != refDigest {
+		t.Fatalf("arrival digests differ: fast-forward %016x vs stepped %016x", ffDigest, refDigest)
+	}
+	if !reflect.DeepEqual(ffRep, refRep) {
+		t.Fatalf("reports differ:\n  ff  = %+v\n  ref = %+v", ffRep, refRep)
+	}
+	if ffCycles != refCycles {
+		t.Fatalf("wall cycles differ: %d vs %d", ffCycles, refCycles)
+	}
+	// The reference steps (and drives) every cycle. With ~15.5k cycles of
+	// pure compute in the program, fast-forward must skip the bulk of
+	// them: require at least a 3× reduction in Drive callbacks.
+	if refDrives < refCycles {
+		t.Fatalf("reference drove %d times over %d cycles — expected every cycle", refDrives, refCycles)
+	}
+	if ffDrives*3 > refDrives {
+		t.Fatalf("fast-forward drove %d of %d cycles — quiescence skipping did not engage", ffDrives, refDrives)
+	}
+	t.Logf("fast-forward: %d drives vs %d stepped over %d cycles (%.1fx fewer)",
+		ffDrives, refDrives, refCycles, float64(refDrives)/float64(ffDrives))
+}

@@ -117,8 +117,14 @@ func (p *FailoverPolicy) Dispatch(st State, f network.Flit) (PHY, bool) {
 	return PHYParallel, st.ParallelBudget > 0
 }
 
-// EvictSerial implements the adapter's serial-eviction hook.
+// EvictSerial implements the adapter's serial-eviction hook. It also
+// feeds the health monitor: the hook runs every adapter tick, so a dead
+// serial PHY is detected from its retry telemetry even when nothing new
+// is being dispatched — the closed-loop collective case, where every
+// upstream message is blocked on the stuck deliveries and Dispatch (the
+// other observation point) is never reached.
 func (p *FailoverPolicy) EvictSerial(st State) bool {
+	p.observe(st)
 	return p.tripped && st.SerialPending > 0 && st.SerialOldestAge >= p.evictAge()
 }
 

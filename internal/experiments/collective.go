@@ -1,0 +1,269 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"heteroif/internal/collective"
+	"heteroif/internal/core"
+	"heteroif/internal/fault"
+	"heteroif/internal/network"
+	"heteroif/internal/topology"
+)
+
+// collectiveSpec names one collective shape at a given message size.
+type collectiveSpec struct {
+	name string
+	mk   func(parts []network.NodeID, size int, compute int64) *collective.Program
+}
+
+// collectiveShapes returns the swept collective programs. size is the
+// per-participant payload in flits; compute the per-chunk reduction delay.
+func collectiveShapes() []collectiveSpec {
+	return []collectiveSpec{
+		{"allreduce", func(ps []network.NodeID, size int, compute int64) *collective.Program {
+			return collective.RingAllReduce(ps, size, compute)
+		}},
+		{"reduce-scatter", func(ps []network.NodeID, size int, compute int64) *collective.Program {
+			return collective.ReduceScatter(ps, size, compute)
+		}},
+		{"all-gather", func(ps []network.NodeID, size int, _ int64) *collective.Program {
+			return collective.AllGather(ps, size)
+		}},
+		{"all-to-all", func(ps []network.NodeID, size int, _ int64) *collective.Program {
+			per := size / len(ps)
+			if per < 1 {
+				per = 1
+			}
+			return collective.AllToAll(ps, per, 4)
+		}},
+		{"dnn", func(ps []network.NodeID, size int, compute int64) *collective.Program {
+			// A 3-layer data-parallel step: gradient volume and compute
+			// both scale with the layer width.
+			layers := []collective.Layer{
+				{Name: "embed", Compute: 8 * int64(size), GradFlits: size},
+				{Name: "mlp", Compute: 16 * int64(size), GradFlits: 2 * size},
+				{Name: "head", Compute: 4 * int64(size), GradFlits: size / 2},
+			}
+			return collective.DNNTraining(ps, layers, compute)
+		}},
+	}
+}
+
+// runCollectiveProgram builds a program over the instance's chiplet
+// leaders, executes it to completion and returns the engine report plus
+// the measured Result row (completion-centric: Throughput is the
+// algorithmic bandwidth in flits/cycle/participant, Rate is 0 since the
+// workload is closed-loop).
+func runCollectiveProgram(in *Instance, system string, spec collectiveSpec, size int, compute, budget int64) (Result, collective.Report, error) {
+	leaders := in.Topo.ChipletLeaders()
+	prog := spec.mk(leaders, size, compute)
+	eng, err := collective.NewEngine(in.Net, prog)
+	if err != nil {
+		return Result{}, collective.Report{}, err
+	}
+	rep, err := eng.Run(budget)
+	if err != nil {
+		return Result{}, collective.Report{}, err
+	}
+	workload := fmt.Sprintf("%s-%d", spec.name, size)
+	r := in.Measure(system, workload, 0)
+	r.Saturated = false
+	if rep.Elapsed > 0 {
+		r.Throughput = float64(rep.Flits) / float64(rep.Elapsed) / float64(rep.Participants)
+	}
+	return r, rep, nil
+}
+
+// runCollective is the `-exp collective` experiment: the paper's headline
+// policies measured under bursty, barrier-synchronized collective traffic
+// — policy × topology × collective × message-size, reporting collective
+// completion time (end-to-end and per-step, with a communication/stall
+// breakdown) instead of open-loop packet latency. A final scenario trips
+// the serial PHY mid-collective and requires the failover policy to
+// complete the collective anyway.
+func runCollective(o Options, w io.Writer) error {
+	cfg := baseConfig(o)
+	// Closed-loop runs measure every packet: there is no steady state to
+	// warm into, the transient IS the workload.
+	cfg.WarmupCycles = 0
+	cx := pick(o, 4, 4, 2)
+	systems := []struct {
+		name string
+		sys  topology.System
+		mk   func() core.Policy
+	}{
+		{"uniform-parallel-mesh", topology.UniformParallelMesh, func() core.Policy { return nil }},
+		{"uniform-serial-torus", topology.UniformSerialTorus, func() core.Policy { return nil }},
+		{"hetero-phy-balanced", topology.HeteroPHYTorus, func() core.Policy { return core.Balanced{} }},
+		{"hetero-phy-perf-first", topology.HeteroPHYTorus, func() core.Policy { return core.PerformanceFirst{} }},
+	}
+	sizes := []int{pick(o, 256, 128, 64)}
+	if !o.Tiny {
+		sizes = append(sizes, pick(o, 2048, 1024, 0))
+	}
+	compute := int64(pick(o, 64, 64, 16))
+	budget := int64(pick(o, 4_000_000, 2_000_000, 500_000))
+	shapes := collectiveShapes()
+
+	type colRow struct {
+		res Result
+		rep collective.Report
+	}
+	rows := make([]*colRow, 0, len(systems)*len(shapes)*len(sizes))
+	var jobs []pointJob
+	for _, sys := range systems {
+		for _, shape := range shapes {
+			for _, size := range sizes {
+				sys, shape, size := sys, shape, size
+				row := &colRow{}
+				rows = append(rows, row)
+				jobs = append(jobs, pointJob{
+					key: fmt.Sprintf("collective/%s/%s-%d", sys.name, shape.name, size),
+					run: func() ([]Result, error) {
+						in, err := Build(cfg, topology.Spec{
+							System: sys.sys, ChipletsX: cx, ChipletsY: cx,
+							NodesX: 4, NodesY: 4, Policy: sys.mk(),
+						})
+						if err != nil {
+							return nil, err
+						}
+						res, rep, err := runCollectiveProgram(in, sys.name, shape, size, compute, budget)
+						if err != nil {
+							return nil, err
+						}
+						row.res, row.rep = res, rep
+						return []Result{res}, nil
+					},
+				})
+			}
+		}
+	}
+	if _, err := runJobs(o, jobs); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "--- collective completion, %d×%d chiplets of 4×4, %d participants ---\n", cx, cx, cx*cx)
+	var all []Result
+	var tbl [][]string
+	for _, row := range rows {
+		if row.rep.Name == "" {
+			return fmt.Errorf("collective: missing row (job failed upstream)")
+		}
+		r, rep := row.res, row.rep
+		fmt.Fprintf(w, "%-24s %-18s elapsed=%7d comm=%7d stall=%7d algbw=%.4f pkts=%d\n",
+			r.System, r.Workload, rep.Elapsed, rep.CommCycles, rep.StallCycles, r.Throughput, rep.Packets)
+		all = append(all, r)
+		tbl = append(tbl, []string{
+			r.System, r.Workload,
+			strconv.Itoa(rep.Participants),
+			strconv.FormatInt(rep.Elapsed, 10),
+			strconv.FormatInt(rep.CommCycles, 10),
+			strconv.FormatInt(rep.StallCycles, 10),
+			strconv.FormatFloat(r.Throughput, 'f', 5, 64),
+			strconv.FormatInt(rep.Packets, 10),
+			strconv.FormatInt(rep.Flits, 10),
+			strconv.Itoa(len(rep.Steps)),
+		})
+	}
+
+	// Per-step breakdown of the ring all-reduce on the balanced hetero-PHY
+	// system at the largest size — the Fig.-style detail view.
+	var stepTbl [][]string
+	for _, row := range rows {
+		if row.res.System != "hetero-phy-balanced" || row.rep.Name != "allreduce" {
+			continue
+		}
+		if row.res.Workload != fmt.Sprintf("allreduce-%d", sizes[len(sizes)-1]) {
+			continue
+		}
+		fmt.Fprintf(w, "\n--- %s on %s, per step ---\n", row.res.Workload, row.res.System)
+		for _, s := range row.rep.Steps {
+			fmt.Fprintf(w, "step %2d: msgs=%d offer=%6d done=%6d span=%5d overlap=%d\n",
+				s.Step, s.Msgs, s.FirstOffer, s.LastDelivery, s.Span, s.Overlap)
+			stepTbl = append(stepTbl, []string{
+				strconv.Itoa(int(s.Step)), strconv.Itoa(s.Msgs),
+				strconv.FormatInt(s.FirstOffer, 10), strconv.FormatInt(s.LastDelivery, 10),
+				strconv.FormatInt(s.Span, 10), strconv.FormatInt(s.Overlap, 10),
+			})
+		}
+	}
+
+	// Failover scenario: the same all-reduce with the serial PHY scripted
+	// dead a third of the way through the healthy completion time. The
+	// failure-aware policy must trip, rescue and complete the collective.
+	healthySpec := topology.Spec{
+		System: topology.HeteroPHYTorus, ChipletsX: cx, ChipletsY: cx,
+		NodesX: 4, NodesY: 4, Policy: core.NewFailoverPolicy(serialPreferred{}),
+	}
+	in, err := Build(cfg, healthySpec)
+	if err != nil {
+		return err
+	}
+	shape := shapes[0] // allreduce
+	_, healthy, err := runCollectiveProgram(in, "hetero-phy-failover", shape, sizes[0], compute, budget)
+	if err != nil {
+		return fmt.Errorf("collective: healthy failover reference: %w", err)
+	}
+
+	downAt := healthy.Elapsed / 3
+	outSpec := healthySpec
+	outSpec.Policy = core.NewFailoverPolicy(serialPreferred{})
+	in, err = Build(cfg, outSpec)
+	if err != nil {
+		return err
+	}
+	fault.Attach(in.Net, fault.Config{
+		Seed: o.FaultSeed,
+		Events: []fault.Event{
+			{Kind: fault.EventDown, Link: -1, Phy: fault.PhySerial, From: downAt, To: -1},
+		},
+	})
+	chk := fault.NewIntegrityChecker(in.Net)
+	_, outage, err := runCollectiveProgram(in, "hetero-phy-failover", shape, sizes[0], compute, budget)
+	if err != nil {
+		return fmt.Errorf("collective: did not complete across the tripped serial PHY: %w", err)
+	}
+	if err := chk.Check(in.Net); err != nil {
+		return fmt.Errorf("collective: failover integrity: %w", err)
+	}
+	var trips uint64
+	for _, ad := range in.Topo.Adapters {
+		if fp, ok := ad.Policy().(*core.FailoverPolicy); ok {
+			trips += fp.Trips()
+		}
+	}
+	if trips == 0 {
+		return fmt.Errorf("collective: serial outage at %d tripped nothing — scenario not exercised", downAt)
+	}
+	sum := fault.Summarize(in.Net)
+	fmt.Fprintf(w, "\n--- serial-PHY outage at cycle %d during allreduce-%d ---\n", downAt, sizes[0])
+	fmt.Fprintf(w, "healthy elapsed=%d  outage elapsed=%d (x%.2f)  trips=%d rescued=%d\n",
+		healthy.Elapsed, outage.Elapsed, float64(outage.Elapsed)/float64(healthy.Elapsed), trips, sum.Rescued)
+	fmt.Fprintln(w, "\nthe collective completes across the dead serial PHY: the failover")
+	fmt.Fprintln(w, "policy detects starvation from retry telemetry and reroutes the")
+	fmt.Fprintln(w, "remaining chunks onto the parallel wires.")
+
+	if err := emitResults(o, "collective", all); err != nil {
+		return err
+	}
+	if err := emitTable(o, "collective-completion",
+		[]string{"system", "workload", "participants", "elapsed", "comm_cycles", "stall_cycles", "algbw_flits_per_cycle", "packets", "flits", "steps"}, tbl); err != nil {
+		return err
+	}
+	if err := emitTable(o, "collective-steps",
+		[]string{"step", "msgs", "first_offer", "last_delivery", "span", "overlap"}, stepTbl); err != nil {
+		return err
+	}
+	return emitTable(o, "collective-failover",
+		[]string{"collective", "healthy_elapsed", "outage_elapsed", "down_at", "trips", "rescued"},
+		[][]string{{
+			fmt.Sprintf("allreduce-%d", sizes[0]),
+			strconv.FormatInt(healthy.Elapsed, 10),
+			strconv.FormatInt(outage.Elapsed, 10),
+			strconv.FormatInt(downAt, 10),
+			strconv.FormatUint(trips, 10),
+			strconv.FormatUint(sum.Rescued, 10),
+		}})
+}

@@ -79,6 +79,7 @@ var Registry = []Experiment{
 	{"linkfail", "Fault tolerance: latency vs failed adaptive channels (Sec. 9)", runLinkFail},
 	{"fault", "Link reliability: BER × policy with link-layer retry and failover (Sec. 2.1)", runFault},
 	{"compromised", "Extension: simulated compromised (BoW-like) interface vs hetero-IF (Sec. 2.2)", runCompromised},
+	{"collective", "Extension: closed-loop collective/DNN workloads — completion time by policy × topology", runCollective},
 }
 
 // ByID returns the experiment with the given ID.

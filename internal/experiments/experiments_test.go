@@ -23,8 +23,8 @@ func TestRegistryIDsUniqueAndResolvable(t *testing.T) {
 			t.Errorf("experiment %q incomplete", e.ID)
 		}
 	}
-	if len(Registry) != 17 {
-		t.Errorf("registry has %d experiments, want 17 (tables, figures, and the topology/economy/linkfail/fault/compromised reports)", len(Registry))
+	if len(Registry) != 18 {
+		t.Errorf("registry has %d experiments, want 18 (tables, figures, and the topology/economy/linkfail/fault/compromised/collective reports)", len(Registry))
 	}
 	if _, err := ByID("fig99"); err == nil {
 		t.Error("unknown id accepted")

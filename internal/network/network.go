@@ -32,6 +32,15 @@ type Network struct {
 	// collectors hook in here.
 	Sink func(*Packet)
 
+	// OnDeliver, when non-nil, is invoked after Sink for every delivered
+	// packet, in the same deterministic ejection order (ascending
+	// destination node within a cycle; coordinator merge order under
+	// parallel stepping). Closed-loop workload drivers
+	// (internal/collective) observe deliveries here without displacing the
+	// statistics sink. Like Sink, the *Packet must not be retained past
+	// the call when PoolPackets is enabled.
+	OnDeliver func(*Packet)
+
 	// Tracer, when non-nil, receives per-flit simulation events
 	// (injection, hops, ejection, allocation failures) for debugging.
 	Tracer Tracer
@@ -564,6 +573,9 @@ func (net *Network) mergeScratch(sc *workerScratch, traceEjects bool) {
 		}
 		if net.Sink != nil {
 			net.Sink(pkt)
+		}
+		if net.OnDeliver != nil {
+			net.OnDeliver(pkt)
 		}
 		if net.PoolPackets {
 			net.pktFree = append(net.pktFree, pkt)

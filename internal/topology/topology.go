@@ -173,6 +173,29 @@ func (t *Topo) ShardCuts() []int {
 	return cuts
 }
 
+// ChipletLeaders returns one representative node per chiplet — the node
+// nearest each chiplet's center — with chiplets visited in serpentine
+// order (left-to-right on even chiplet rows, right-to-left on odd ones).
+// Consecutive leaders are therefore physically adjacent chiplets, which
+// makes the slice a natural ring order for collective programs: every
+// ring hop crosses only one D2D interface boundary instead of striding
+// the whole package.
+func (t *Topo) ChipletLeaders() []network.NodeID {
+	leaders := make([]network.NodeID, 0, t.ChipletsX*t.ChipletsY)
+	for cy := 0; cy < t.ChipletsY; cy++ {
+		for i := 0; i < t.ChipletsX; i++ {
+			cx := i
+			if cy%2 == 1 {
+				cx = t.ChipletsX - 1 - i
+			}
+			gx := cx*t.NodesX + t.NodesX/2
+			gy := cy*t.NodesY + t.NodesY/2
+			leaders = append(leaders, t.NodeAt(gx, gy))
+		}
+	}
+	return leaders
+}
+
 // SameChiplet reports whether two nodes are on the same chiplet.
 func (t *Topo) SameChiplet(a, b network.NodeID) bool {
 	return t.ChipletID(a) == t.ChipletID(b)

@@ -14,6 +14,24 @@ import (
 	"heteroif/internal/network"
 )
 
+// Driver is a workload driver for network.RunWith: Drive may Offer packets
+// at the start of every cycle, and NextInjection implements the quiescence
+// fast-forward contract — the earliest cycle ≥ now at which Drive may next
+// offer a packet, or a negative value for "never again". Open-loop
+// implementations sample or replay a fixed schedule (Generator pins
+// NextInjection to now, disabling skips; trace.Replayer exposes trace
+// gaps); closed-loop implementations (collective.Engine) gate each step's
+// injections on the previous step's deliveries, so their compute phases
+// are provably idle network stretches the engine fast-forwards across.
+type Driver interface {
+	Drive(now int64)
+	NextInjection(now int64) int64
+}
+
+// Generator implements Driver; trace.Replayer and collective.Engine
+// implement it structurally (asserted in their own packages' tests).
+var _ Driver = (*Generator)(nil)
+
 // Pattern maps a source node to a destination for one packet. Dest returns
 // -1 when the source does not participate in the pattern (it then injects
 // nothing).
